@@ -1,0 +1,158 @@
+// Command soma is the end-to-end scheduler CLI: it takes a workload from the
+// model zoo and a hardware configuration, explores the DRAM Communication
+// Scheduling Space, and emits the schedule report, the execution graph, and
+// (optionally) the lowered instruction stream - the full compiler flow of
+// the paper's Fig. 5.
+//
+// Examples:
+//
+//	soma -model resnet50 -batch 1 -hw edge
+//	soma -model gpt2xl-prefill -batch 4 -hw cloud -profile default
+//	soma -model resnet50 -framework cocco -trace
+//	soma -model resnet50 -ir out.ir -dram 32 -buf 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"soma/internal/cocco"
+	"soma/internal/core"
+	"soma/internal/coresched"
+	"soma/internal/exp"
+	"soma/internal/isa"
+	"soma/internal/models"
+	"soma/internal/report"
+	"soma/internal/sim"
+	"soma/internal/soma"
+	"soma/internal/trace"
+)
+
+func main() {
+	model := flag.String("model", "resnet50", "workload: "+strings.Join(models.Names(), "|"))
+	batch := flag.Int("batch", 1, "batch size")
+	hwName := flag.String("hw", "edge", "platform preset: edge|cloud")
+	dram := flag.Float64("dram", 0, "override DRAM bandwidth (GB/s)")
+	buf := flag.Int64("buf", 0, "override GBUF size (MB)")
+	profile := flag.String("profile", "default", "search profile: fast|default|paper")
+	framework := flag.String("framework", "soma", "scheduler: soma|cocco")
+	seed := flag.Int64("seed", 1, "search seed")
+	beta1 := flag.Int("beta1", 0, "override stage-1 iteration multiplier")
+	beta2 := flag.Int("beta2", 0, "override stage-2 iteration multiplier")
+	objN := flag.Float64("energy-exp", 1, "objective exponent n in Energy^n x Delay^m")
+	objM := flag.Float64("delay-exp", 1, "objective exponent m in Energy^n x Delay^m")
+	irOut := flag.String("ir", "", "write the lowered instruction stream to this file")
+	showTrace := flag.Bool("trace", false, "print the execution graph")
+	flag.Parse()
+
+	cfg, err := exp.Platform(*hwName)
+	if err != nil {
+		fatal(err)
+	}
+	if *dram > 0 {
+		cfg = cfg.WithDRAM(*dram)
+	}
+	if *buf > 0 {
+		cfg = cfg.WithGBuf(*buf << 20)
+	}
+	g, err := models.Build(*model, *batch)
+	if err != nil {
+		fatal(err)
+	}
+	var par soma.Params
+	switch *profile {
+	case "fast":
+		par = soma.FastParams()
+	case "default":
+		par = soma.DefaultParams()
+	case "paper":
+		par = soma.PaperParams()
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+	par.Seed = *seed
+	if *beta1 > 0 {
+		par.Beta1 = *beta1
+	}
+	if *beta2 > 0 {
+		par.Beta2 = *beta2
+		par.Stage2MaxIters = 1 << 20
+	}
+	obj := soma.Objective{N: *objN, M: *objM}
+
+	fmt.Printf("workload: %s", g.Summary())
+	fmt.Printf("hardware: %s\n", cfg.String())
+
+	var sched *core.Schedule
+	var metrics *sim.Metrics
+	switch *framework {
+	case "cocco":
+		res, err := cocco.New(g, cfg, obj, par).Run()
+		if err != nil {
+			fatal(err)
+		}
+		sched, metrics = res.Schedule, res.Metrics
+	case "soma":
+		res, err := soma.New(g, cfg, obj, par).Run()
+		if err != nil {
+			fatal(err)
+		}
+		sched, metrics = res.Schedule, res.Stage2.Metrics
+		fmt.Printf("buffer allocator: %d iterations, stage-1 budget %s\n",
+			res.AllocIters, report.MB(res.Stage1Budget))
+		fmt.Printf("stage 1: latency %s, energy %.3f mJ\n",
+			report.Ms(res.Stage1.Metrics.LatencyNS), res.Stage1.Metrics.EnergyPJ/1e9)
+	default:
+		fatal(fmt.Errorf("unknown framework %q", *framework))
+	}
+
+	t := report.New("schedule report", "metric", "value")
+	t.Add("latency", report.Ms(metrics.LatencyNS))
+	t.Add("energy", fmt.Sprintf("%.3f mJ", metrics.EnergyPJ/1e9))
+	t.Add("  core array", fmt.Sprintf("%.3f mJ", metrics.CoreEnergyPJ/1e9))
+	t.Add("  dram", fmt.Sprintf("%.3f mJ", metrics.DRAMEnergyPJ/1e9))
+	t.Add("compute utilization", report.Pct(metrics.Utilization))
+	t.Add("theoretical max util", report.Pct(metrics.TheoreticalMaxUtil))
+	t.Add("dram busy", report.Pct(metrics.DRAMUtilization))
+	t.Add("dram traffic", report.MB(metrics.TotalDRAMBytes))
+	t.Add("peak buffer", report.MB(metrics.PeakBufferBytes))
+	t.Add("avg buffer", fmt.Sprintf("%.2fMB", metrics.AvgBufferBytes/(1<<20)))
+	st := sched.Summarize()
+	t.Add("LGs / FLGs", fmt.Sprintf("%d / %d", st.LGs, st.FLGs))
+	t.Add("tiles / DRAM tensors", fmt.Sprintf("%d / %d", st.Tiles, st.Tensors))
+	fmt.Println(t.String())
+
+	if *showTrace {
+		cs := coresched.New(cfg)
+		m, err := sim.Evaluate(sched, cs, sim.Options{Trace: true})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(trace.Render(sched, m, 110))
+		fmt.Print(trace.Legend(sched))
+	}
+	if *irOut != "" {
+		prog, err := isa.Generate(sched, cfg.GBufBytes)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*irOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := prog.WriteText(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("instructions: %d (%d loads, %d stores, %d computes) -> %s\n",
+			len(prog.Instrs), prog.Counts()[isa.Load], prog.Counts()[isa.Store],
+			prog.Counts()[isa.Compute], *irOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soma:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,311 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"soma/internal/cocco"
+	"soma/internal/exp"
+	"soma/internal/models"
+	"soma/internal/report"
+	"soma/internal/soma"
+	"soma/internal/trace"
+)
+
+// fig2 reproduces the Sec. III-B motivation numbers: the DRAM and compute
+// utilization of the double-buffer baseline schedule are both far from 100%,
+// leaving overlap opportunity on the table.
+func (h *harness) fig2() error {
+	t := report.New("Fig.2 / Sec.III-B: resource utilization under the Cocco double-buffer strategy (edge, batch 1)",
+		"workload", "dram-util", "compute-util", "latency", "overlap-headroom")
+	for _, w := range []string{"resnet50", "transformer-large"} {
+		g, err := models.Build(w, 1)
+		if err != nil {
+			return err
+		}
+		cfg, _ := exp.Platform("edge")
+		base, err := cocco.New(g, cfg, soma.EDP(), h.par).Run()
+		if err != nil {
+			return err
+		}
+		m := base.Metrics
+		head := 1 - maxf(m.DRAMUtilization, m.ComputeUtilization)
+		t.Add(w, report.Pct(m.DRAMUtilization), report.Pct(m.ComputeUtilization),
+			report.Ms(m.LatencyNS), report.Pct(head))
+	}
+	fmt.Println("Neither resource is saturated: prefetching and delayed storing can reclaim the headroom.")
+	return h.emit(t, "fig2.csv")
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fig3 reproduces the motivation scatter: per-layer and per-tile normalized
+// DRAM access vs operations; tiles are more spread out than layers.
+func (h *harness) fig3() error {
+	for _, w := range []string{"resnet50", "transformer-large"} {
+		g, err := models.Build(w, 1)
+		if err != nil {
+			return err
+		}
+		cfg, _ := exp.Platform("edge")
+		layers := exp.Fig3Layers(g)
+		tiles, err := exp.Fig3Tiles(g, cfg, h.par)
+		if err != nil {
+			return err
+		}
+		t := report.New(fmt.Sprintf("Fig.3: %s normalized ops vs DRAM access", w),
+			"series", "points", "spread(mean |ops-dram|)", "axis-huggers(<0.05)")
+		t.Add("layers", fmt.Sprint(len(layers)), report.F(exp.Spread(layers), 4),
+			fmt.Sprint(countAxisHuggers(layers)))
+		t.Add("tiles(cocco)", fmt.Sprint(len(tiles)), report.F(exp.Spread(tiles), 4),
+			fmt.Sprint(countAxisHuggers(tiles)))
+		if err := h.emit(t, "fig3_"+w+"_summary.csv"); err != nil {
+			return err
+		}
+		pts := report.New("", "name", "norm_ops", "norm_dram")
+		for _, p := range tiles {
+			pts.Add(p.Name, report.F(p.NormOps, 5), report.F(p.NormDRAM, 5))
+		}
+		if h.outDir != "" {
+			if err := h.emit(pts, "fig3_"+w+"_tiles.csv"); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Println("After fusion, tiles hug the axes (weight-loading tiles near Y, compute-only tiles near X).")
+	return nil
+}
+
+func countAxisHuggers(pts []exp.ScatterPoint) int {
+	n := 0
+	for _, p := range pts {
+		if p.NormOps < 0.05 || p.NormDRAM < 0.05 {
+			n++
+		}
+	}
+	return n
+}
+
+// fig6 reproduces the overall comparison and prints the Sec. VI-B summary.
+func (h *harness) fig6(batches []int) error {
+	var cases []exp.Case
+	for _, pf := range []string{"edge", "cloud"} {
+		for _, w := range exp.Workloads(pf) {
+			for _, b := range batches {
+				cases = append(cases, exp.Case{Platform: pf, Workload: w, Batch: b})
+			}
+		}
+	}
+	var done atomic.Int32
+	results := exp.ParallelMap(cases, h.workers, func(c exp.Case) exp.PairResult {
+		r := exp.RunPair(c, h.par)
+		fmt.Fprintf(os.Stderr, "[fig6 %d/%d] %s done\n", done.Add(1), len(cases), c)
+		return r
+	})
+
+	t := report.New("Fig.6: overall comparison (energy normalized to Cocco)",
+		"case", "scheme", "norm-energy", "core-E", "dram-E", "util", "theo-max", "avg-buf", "latency")
+	for _, r := range results {
+		if r.Err != nil {
+			t.Add(r.Case.String(), "ERROR", r.Err.Error())
+			continue
+		}
+		base := r.Cocco.EnergyPJ
+		for _, row := range []exp.Row{r.Cocco, r.Ours1, r.Ours2} {
+			t.Add(r.Case.String(), row.Scheme,
+				report.F(row.EnergyPJ/base, 3),
+				report.F(row.CorePJ/base, 3),
+				report.F(row.DRAMPJ/base, 3),
+				report.Pct(row.Util), report.Pct(row.TheoUtil),
+				fmt.Sprintf("%.2fMB", row.AvgBufMB),
+				report.Ms(row.LatencyNS))
+		}
+	}
+	if err := h.emit(t, "fig6.csv"); err != nil {
+		return err
+	}
+
+	gm := exp.Summarize(results)
+	s := report.New("Sec.VI-B summary (geometric means over valid cases)",
+		"metric", "value", "paper-reports")
+	s.Add("stage-1 speedup vs Cocco", report.X(gm.SpeedupStage1), "1.82x")
+	s.Add("stage-2 total speedup vs Cocco", report.X(gm.SpeedupStage2), "2.11x")
+	s.Add("stage-2 extra over stage-1", report.X(gm.Stage2Extra), "1.16x")
+	s.Add("energy vs Cocco", report.Pct(gm.EnergyRatio-1), "-37.3%")
+	s.Add("mean gap to theoretical bound", report.Pct(gm.GapToBound), "3.1%")
+	s.Add("valid cases", fmt.Sprint(gm.N), "96 runs")
+	return h.emit(s, "fig6_summary.csv")
+}
+
+// fig7 reproduces the DSE heatmap for one workload/batch.
+func (h *harness) fig7(workload string, batch int) error {
+	pts := exp.Fig7(workload, batch, h.par, h.workers)
+	t := report.New(fmt.Sprintf("Fig.7: DSE latency (ms) for %s batch %d on 16 TOPS edge", workload, batch),
+		"dram\\buf", "2MB", "4MB", "8MB", "16MB", "32MB", "scheme")
+	emitGrid := func(scheme string, get func(exp.DSEPoint) (float64, string)) {
+		for _, bw := range exp.Fig7Bandwidths {
+			cells := []string{fmt.Sprintf("%gGB/s", bw)}
+			for _, buf := range exp.Fig7Buffers {
+				found := false
+				for _, p := range pts {
+					if p.DRAMGBs == bw && p.BufferMB == buf>>20 {
+						v, e := get(p)
+						if e != "" {
+							cells = append(cells, "inf")
+						} else {
+							cells = append(cells, report.F(v, 2))
+						}
+						found = true
+					}
+				}
+				if !found {
+					cells = append(cells, "-")
+				}
+			}
+			t.Add(append(cells, scheme)...)
+		}
+	}
+	emitGrid("cocco", func(p exp.DSEPoint) (float64, string) { return p.CoccoMS, p.CoccoErr })
+	emitGrid("soma", func(p exp.DSEPoint) (float64, string) { return p.SoMaMS, p.SoMaErr })
+	for _, scheme := range []string{"cocco", "soma"} {
+		st := exp.AnalyzeDSE(pts, scheme)
+		fmt.Printf("%-6s insights: 2x bandwidth -> %.2fx faster, 2x buffer -> %.2fx faster; "+
+			"envelope %d cells (best %.2f ms), cheaper-than-max/max corner: %v\n",
+			scheme, st.BandwidthGain, st.BufferGain, st.EnvelopeCells, st.BestMS, st.CheaperInEnvelope)
+	}
+	fmt.Println("Insight 1: at batch 1 bandwidth dominates buffer; buffer gains grow with batch.")
+	fmt.Println("Insight 2: SoMa's envelope flattens bottom-right - buffer compensates bandwidth.")
+	return h.emit(t, fmt.Sprintf("fig7_%s_b%d.csv", workload, batch))
+}
+
+// fig8 renders the execution-graph comparison.
+func (h *harness) fig8(c exp.Case) error {
+	tp, err := exp.Fig8(c, h.par)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig.8: execution graphs for %s\n\n", c)
+	fmt.Println("--- Cocco ---")
+	fmt.Print(trace.Render(tp.Cocco, tp.MCocco, 110))
+	fmt.Println("\n--- SoMa stage 1 (LFA explored, double-buffer DLSA) ---")
+	fmt.Print(trace.Render(tp.Ours1, tp.M1, 110))
+	fmt.Println("\n--- SoMa stage 2 (DLSA explored: prefetch + delayed store) ---")
+	fmt.Print(trace.Render(tp.Ours2, tp.M2, 110))
+	fmt.Println()
+	fmt.Print(trace.Legend(tp.Ours2))
+	return nil
+}
+
+// stats reproduces the Sec. VI-B1 fusion statistics.
+func (h *harness) stats(batches []int) error {
+	var cases []exp.Case
+	for _, w := range exp.Workloads("edge") {
+		for _, b := range batches {
+			cases = append(cases, exp.Case{Platform: "edge", Workload: w, Batch: b})
+		}
+	}
+	results := exp.Fig6(cases, h.par, h.workers)
+	var cTiles, sTiles, cLGs, sLGs, sFLGs, n float64
+	t := report.New("Sec.VI-B1: fusion structure, Cocco vs SoMa (edge)",
+		"case", "cocco-tiles", "soma-tiles", "cocco-LGs", "soma-LGs", "soma-FLGs")
+	for _, r := range results {
+		if r.Err != nil {
+			t.Add(r.Case.String(), "ERROR", r.Err.Error())
+			continue
+		}
+		n++
+		cTiles += float64(r.Cocco.Tiles)
+		sTiles += float64(r.Ours2.Tiles)
+		cLGs += float64(r.Cocco.LGs)
+		sLGs += float64(r.Ours2.LGs)
+		sFLGs += float64(r.Ours2.FLGs)
+		t.Add(r.Case.String(), fmt.Sprint(r.Cocco.Tiles), fmt.Sprint(r.Ours2.Tiles),
+			fmt.Sprint(r.Cocco.LGs), fmt.Sprint(r.Ours2.LGs), fmt.Sprint(r.Ours2.FLGs))
+	}
+	if n > 0 {
+		t.Add("AVERAGE", report.F(cTiles/n, 1), report.F(sTiles/n, 1),
+			report.F(cLGs/n, 1), report.F(sLGs/n, 1), report.F(sFLGs/n, 1))
+		t.Add("paper", "7962", "751", "13.0", "2.5", "3.9 FLGs")
+	}
+	return h.emit(t, "stats.csv")
+}
+
+// llm reproduces the decode-phase observations: utilization grows sublinearly
+// with batch size as the KV cache catches up with the weights.
+func (h *harness) llm() error {
+	t := report.New("LLM decode: SoMa utilization vs batch (paper: 0.66/2.03/4.26/5.84% small; 0.60/1.90/4.13/5.83% XL)",
+		"model", "batch", "util", "dram-util", "kv/weights", "latency")
+	for _, pc := range []struct {
+		platform, model string
+		cfg             models.GPTConfig
+	}{
+		{"edge", "gpt2s-decode", models.GPT2Small()},
+		{"cloud", "gpt2xl-decode", models.GPT2XL()},
+	} {
+		hwCfg, _ := exp.Platform(pc.platform)
+		for _, b := range exp.Batches {
+			g, err := models.Build(pc.model, b)
+			if err != nil {
+				return err
+			}
+			res, err := soma.New(g, hwCfg, soma.EDP(), h.par).Run()
+			if err != nil {
+				t.Add(pc.model, fmt.Sprint(b), "ERR: "+err.Error())
+				continue
+			}
+			kv := float64(2*pc.cfg.Layers*b*pc.cfg.SeqLen*pc.cfg.DModel) /
+				float64(g.TotalWeightBytes()-int64(2*pc.cfg.Layers*b*pc.cfg.SeqLen*pc.cfg.DModel))
+			m := res.Stage2.Metrics
+			t.Add(pc.model, fmt.Sprint(b), report.Pct(m.Utilization),
+				report.Pct(m.DRAMUtilization), report.F(kv, 2), report.Ms(m.LatencyNS))
+		}
+	}
+	fmt.Println("Observation 1: decode is bandwidth-bound (DRAM util ~100%, compute util ~1%).")
+	fmt.Println("Observation 2: utilization growth decays with batch as KV cache rivals weights.")
+	return h.emit(t, "llm.csv")
+}
+
+// ablate quantifies SoMa's design choices on ResNet-50 (edge, batch 1).
+func (h *harness) ablate() error {
+	g, err := models.Build("resnet50", 1)
+	if err != nil {
+		return err
+	}
+	cfg, _ := exp.Platform("edge")
+	variants := []struct {
+		name string
+		ab   soma.Ablation
+	}{
+		{"full", soma.Ablation{}},
+		{"no-FLC (FLC==DRAM cuts)", soma.Ablation{NoFLC: true}},
+		{"no-tiling-freedom", soma.Ablation{NoTiling: true}},
+		{"no-stage2", soma.Ablation{NoStage2: true}},
+		{"no-buffer-allocator", soma.Ablation{NoAllocator: true}},
+	}
+	t := report.New("Ablations: ResNet-50, edge, batch 1",
+		"variant", "latency", "energy(mJ)", "util", "LGs", "FLGs", "cost-vs-full")
+	var fullCost float64
+	for _, v := range variants {
+		par := h.par
+		par.Ablate = v.ab
+		res, err := soma.New(g, cfg, soma.EDP(), par).Run()
+		if err != nil {
+			t.Add(v.name, "ERR: "+err.Error())
+			continue
+		}
+		if v.name == "full" {
+			fullCost = res.Cost
+		}
+		m := res.Stage2.Metrics
+		t.Add(v.name, report.Ms(m.LatencyNS), report.F(m.EnergyPJ/1e9, 3),
+			report.Pct(m.Utilization), fmt.Sprint(res.Encoding.NumLGs()),
+			fmt.Sprint(res.Encoding.NumFLGs()), report.X(res.Cost/fullCost))
+	}
+	return h.emit(t, "ablate.csv")
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"soma/internal/exp"
+)
+
+func TestParseBatches(t *testing.T) {
+	if got := parseBatches(""); len(got) != len(exp.Batches) {
+		t.Fatalf("default batches = %v", got)
+	}
+	if got := parseBatches("1, 8,64"); len(got) != 3 || got[1] != 8 {
+		t.Fatalf("parsed = %v", got)
+	}
+	if got := parseBatches("junk,-2"); len(got) != len(exp.Batches) {
+		t.Fatalf("invalid input should fall back: %v", got)
+	}
+}
+
+func TestParams(t *testing.T) {
+	for _, p := range []string{"fast", "default", "paper"} {
+		par, err := params(p)
+		if err != nil || par.Beta1 <= 0 {
+			t.Fatalf("profile %s: %+v %v", p, par, err)
+		}
+	}
+	if _, err := params("turbo"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestMaxf(t *testing.T) {
+	if maxf(1, 2) != 2 || maxf(3, 2) != 3 {
+		t.Fatal("maxf broken")
+	}
+}
+
+func TestCountAxisHuggers(t *testing.T) {
+	pts := []exp.ScatterPoint{
+		{NormOps: 0.01, NormDRAM: 0.9},
+		{NormOps: 0.5, NormDRAM: 0.5},
+		{NormOps: 0.9, NormDRAM: 0.01},
+	}
+	if countAxisHuggers(pts) != 2 {
+		t.Fatalf("huggers = %d", countAxisHuggers(pts))
+	}
+}

@@ -1,0 +1,90 @@
+// Custom-hardware design study: a miniature version of the paper's Fig. 7
+// design-space exploration plus the compiler back-end. Sweeps DRAM bandwidth
+// against buffer size for a custom accelerator, reports the cheapest
+// configuration that stays within 5% of the best latency (the paper's
+// "buffer compensates bandwidth" insight), then lowers the winning schedule
+// to the abstract instruction stream.
+//
+// Run: go run ./examples/custom_hw
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"soma/internal/hw"
+	"soma/internal/isa"
+	"soma/internal/models"
+	"soma/internal/soma"
+)
+
+func main() {
+	g := models.ResNet50(4)
+	par := soma.DefaultParams()
+
+	type point struct {
+		bw    float64
+		bufMB int64
+		ms    float64
+		res   *soma.Result
+		cfg   hw.Config
+	}
+	var pts []point
+	best := point{ms: 1e18}
+	fmt.Println("latency (ms) for ResNet-50 batch 4 on a 16 TOPS custom accelerator:")
+	fmt.Printf("%10s", "bw\\buf")
+	bufs := []int64{4, 8, 16}
+	for _, b := range bufs {
+		fmt.Printf("  %6dMB", b)
+	}
+	fmt.Println()
+	for _, bw := range []float64{8, 16, 32, 64} {
+		fmt.Printf("%8gGB", bw)
+		for _, bufMB := range bufs {
+			cfg := hw.Edge().WithDRAM(bw).WithGBuf(bufMB << 20)
+			res, err := soma.New(g, cfg, soma.EDP(), par).Run()
+			if err != nil {
+				fmt.Printf("  %8s", "inf")
+				continue
+			}
+			ms := res.Stage2.Metrics.LatencyNS / 1e6
+			pts = append(pts, point{bw, bufMB, ms, res, cfg})
+			if ms < best.ms {
+				best = pts[len(pts)-1]
+			}
+			fmt.Printf("  %8.2f", ms)
+		}
+		fmt.Println()
+	}
+
+	// Cheapest config within 5% of the best latency: prefer low bandwidth
+	// (expensive HBM-class interfaces) over buffer area.
+	pick := best
+	for _, p := range pts {
+		if p.ms <= best.ms*1.05 && (p.bw < pick.bw || (p.bw == pick.bw && p.bufMB < pick.bufMB)) {
+			pick = p
+		}
+	}
+	fmt.Printf("\nbest latency: %.2f ms at %gGB/s + %dMB\n", best.ms, best.bw, best.bufMB)
+	fmt.Printf("recommended:  %gGB/s + %dMB (%.2f ms, within 5%%) - buffer substitutes bandwidth\n",
+		pick.bw, pick.bufMB, pick.ms)
+
+	// Lower the recommended schedule to instructions.
+	prog, err := isa.Generate(pick.res.Schedule, pick.cfg.GBufBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlowered program: %d instructions (%d loads / %d stores / %d computes), GBUF high water %.2f MB\n",
+		len(prog.Instrs), prog.Counts()[isa.Load], prog.Counts()[isa.Store],
+		prog.Counts()[isa.Compute], float64(prog.GBufHighWater)/(1<<20))
+	f, err := os.CreateTemp("", "soma-*.ir")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := prog.WriteText(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instruction stream written to %s\n", f.Name())
+}

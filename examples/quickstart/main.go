@@ -1,0 +1,78 @@
+// Quickstart: build a small DNN with the graph API, schedule it with SoMa on
+// the edge accelerator preset, and print the report plus the execution
+// graph. This is the minimal end-to-end path through the library:
+//
+//	graph -> soma.Explorer -> schedule -> evaluator metrics -> trace.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soma/internal/coresched"
+	"soma/internal/graph"
+	"soma/internal/hw"
+	"soma/internal/sim"
+	"soma/internal/soma"
+	"soma/internal/trace"
+)
+
+func main() {
+	// A five-layer CNN mirroring the paper's Fig. 4 example: two convs,
+	// a pooling layer, and two independent conv heads.
+	g := graph.New("fig4-quickstart", 1)
+	in := g.Add(graph.Layer{Name: "in", Kind: graph.Input,
+		Out: graph.Shape{N: 1, C: 16, H: 64, W: 64}})
+	a := g.Add(graph.Layer{Name: "A", Kind: graph.Conv,
+		Deps:        []graph.Dep{{Producer: in}},
+		Out:         graph.Shape{N: 1, C: 32, H: 64, W: 64},
+		K:           graph.Kernel{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1},
+		WeightBytes: 16 * 32 * 9, Ops: 2 * 16 * 32 * 9 * 64 * 64})
+	b := g.Add(graph.Layer{Name: "B", Kind: graph.Conv,
+		Deps:        []graph.Dep{{Producer: a}},
+		Out:         graph.Shape{N: 1, C: 32, H: 64, W: 64},
+		K:           graph.Kernel{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1},
+		WeightBytes: 32 * 32 * 9, Ops: 2 * 32 * 32 * 9 * 64 * 64})
+	c := g.Add(graph.Layer{Name: "C", Kind: graph.Pool,
+		Deps: []graph.Dep{{Producer: b}},
+		Out:  graph.Shape{N: 1, C: 32, H: 32, W: 32},
+		K:    graph.Kernel{KH: 2, KW: 2, SH: 2, SW: 2}, Ops: 32 * 32 * 32 * 4})
+	g.Add(graph.Layer{Name: "E", Kind: graph.Conv,
+		Deps:        []graph.Dep{{Producer: c}},
+		Out:         graph.Shape{N: 1, C: 32, H: 32, W: 32},
+		K:           graph.Kernel{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1},
+		WeightBytes: 32 * 32 * 9, Ops: 2 * 32 * 32 * 9 * 32 * 32})
+	g.Add(graph.Layer{Name: "D", Kind: graph.Conv,
+		Deps:        []graph.Dep{{Producer: c}},
+		Out:         graph.Shape{N: 1, C: 32, H: 32, W: 32},
+		K:           graph.Kernel{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1},
+		WeightBytes: 32 * 32 * 9, Ops: 2 * 32 * 32 * 9 * 32 * 32})
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(g.Summary())
+
+	// Explore the DRAM Communication Scheduling Space.
+	cfg := hw.Edge()
+	res, err := soma.New(g, cfg, soma.EDP(), soma.DefaultParams()).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Stage2.Metrics
+	fmt.Printf("encoding: %s\n", res.Encoding)
+	fmt.Printf("latency:  %.3f ms  (stage 1: %.3f ms)\n",
+		m.LatencyNS/1e6, res.Stage1.Metrics.LatencyNS/1e6)
+	fmt.Printf("energy:   %.3f mJ\n", m.EnergyPJ/1e9)
+	fmt.Printf("util:     %.2f%% of peak (bound %.2f%%)\n",
+		100*m.Utilization, 100*m.TheoreticalMaxUtil)
+
+	// Replay with tracing to draw the DRAM-COMPUTE diagram.
+	traced, err := sim.Evaluate(res.Schedule, coresched.New(cfg), sim.Options{Trace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trace.Render(res.Schedule, traced, 100))
+	fmt.Print(trace.Legend(res.Schedule))
+}

@@ -1,0 +1,139 @@
+// Package cocco implements the paper's baseline: the Cocco framework
+// (ASPLOS'24), expressed inside the Tensor-centric Notation as the subspace
+// the paper maps it to (Sec. IV-B): only the Computing Order and the DRAM Cut
+// set vary, the FLC Set is identical to the DRAM Cut Set (no weight-freeing
+// fine-grained cuts), the Tiling Number comes from a conservative
+// KC-parallelism/buffer-fit heuristic, and the DLSA is the classical
+// double-buffer strategy.
+package cocco
+
+import (
+	"math"
+	"math/rand"
+
+	"soma/internal/core"
+	"soma/internal/coresched"
+	"soma/internal/graph"
+	"soma/internal/hw"
+	"soma/internal/sa"
+	"soma/internal/sim"
+	"soma/internal/soma"
+)
+
+// Result is the baseline outcome.
+type Result struct {
+	Encoding *core.Encoding
+	Schedule *core.Schedule
+	Metrics  *sim.Metrics
+	Cost     float64
+	Stats    sa.Stats
+}
+
+// Explorer runs the Cocco search for one graph and platform.
+type Explorer struct {
+	G   *graph.Graph
+	CS  *coresched.Scheduler
+	Cfg hw.Config
+	Obj soma.Objective
+	Par soma.Params
+}
+
+// New builds a baseline explorer; Params.Beta1 scales its iteration budget
+// (Beta2 is unused - Cocco has no second stage).
+func New(g *graph.Graph, cfg hw.Config, obj soma.Objective, par soma.Params) *Explorer {
+	return &Explorer{G: g, CS: coresched.New(cfg), Cfg: cfg, Obj: obj, Par: par}
+}
+
+// Run anneals order + DRAM cuts and returns the best baseline schedule.
+func (e *Explorer) Run() (*Result, error) {
+	init := core.DefaultEncoding(e.G, 1)
+	e.applyHeuristicTiling(init)
+	iters := e.Par.Beta1 * len(init.Order)
+	if e.Par.Stage1MaxIters > 0 && iters > e.Par.Stage1MaxIters {
+		iters = e.Par.Stage1MaxIters
+	}
+
+	costEnc := func(enc *core.Encoding) float64 {
+		s, err := core.Parse(e.G, enc)
+		if err != nil {
+			return math.Inf(1)
+		}
+		m, err := sim.Evaluate(s, e.CS, sim.Options{})
+		if err != nil || !m.BufferOK {
+			return math.Inf(1)
+		}
+		return m.Cost(e.Obj.N, e.Obj.M)
+	}
+
+	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: e.Par.Seed}
+	best, bestCost, stats := sa.Run(cfg, init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
+		return e.mutate(enc, rng)
+	})
+	if math.IsInf(bestCost, 1) {
+		return nil, soma.ErrNoFeasible
+	}
+	s, err := core.Parse(e.G, best)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sim.Evaluate(s, e.CS, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Encoding: best, Schedule: s, Metrics: m,
+		Cost: m.Cost(e.Obj.N, e.Obj.M), Stats: stats}, nil
+}
+
+// mutate applies one Cocco operator: move a layer, or toggle a DRAM cut
+// (always re-deriving the heuristic tiling, since group membership changed).
+func (e *Explorer) mutate(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
+	c := enc.Clone()
+	n := len(c.Order)
+	ok := false
+	switch rng.Intn(3) {
+	case 0:
+		ok = c.MoveLayer(e.G, rng.Intn(n), rng.Intn(n))
+	case 1: // add a fusion boundary removal == merge two LGs
+		if len(c.FLCs) == 0 {
+			return c, false
+		}
+		ok = c.RemoveFLC(rng.Intn(len(c.FLCs)), 1)
+	default: // split an LG at a random position
+		p := 1 + rng.Intn(n-1)
+		ok = c.AddFLC(p)
+		if ok {
+			// Cocco cuts are always DRAM cuts.
+			for i, cut := range c.FLCs {
+				if cut == p {
+					c.IsDRAM[i] = true
+				}
+			}
+		}
+	}
+	if !ok {
+		return c, false
+	}
+	e.applyHeuristicTiling(c)
+	return c, true
+}
+
+// applyHeuristicTiling sets every LG's tiling number with the baseline's
+// conservative rule (shared with SoMa's initial solution, see
+// soma.HeuristicTile): one KC-parallelism work quantum per tile, refined
+// when the double-buffered working set would overflow its GBUF share.
+// Deeper, wider groups and larger batches therefore tile finer - the
+// behaviour the paper reports for Cocco.
+func (e *Explorer) applyHeuristicTiling(enc *core.Encoding) {
+	for i := range enc.IsDRAM {
+		enc.IsDRAM[i] = true // FLC Set == DRAM Cut Set for Cocco
+	}
+	for f := 0; f < enc.NumFLGs(); f++ {
+		enc.Tile[f] = soma.HeuristicTile(e.G, e.Cfg, enc.FLGLayers(f))
+	}
+}
+
+// ApplyHeuristicTilingForTest exposes the tiling heuristic for probes and
+// tests.
+func (e *Explorer) ApplyHeuristicTilingForTest(enc *core.Encoding) {
+	e.applyHeuristicTiling(enc)
+}

@@ -1,0 +1,120 @@
+package cocco
+
+import (
+	"math"
+	"testing"
+
+	"soma/internal/core"
+	"soma/internal/graph"
+	"soma/internal/hw"
+	"soma/internal/soma"
+)
+
+func sh(n, c, h, w int) graph.Shape { return graph.Shape{N: n, C: c, H: h, W: w} }
+
+func kr(kh, kw, s, sw, ph, pw int) graph.Kernel {
+	return graph.Kernel{KH: kh, KW: kw, SH: s, SW: sw, PH: ph, PW: pw}
+}
+
+func testNet(t testing.TB, batch int) *graph.Graph {
+	g := graph.New("c5", 1)
+	in := g.Add(graph.Layer{Name: "in", Kind: graph.Input, Out: sh(batch, 16, 56, 56)})
+	prev := in
+	chans := []int{32, 32, 64, 64}
+	for i, c := range chans {
+		inC := g.Layer(prev).Out.C
+		prev = g.Add(graph.Layer{Kind: graph.Conv, Deps: []graph.Dep{{Producer: prev}},
+			Out: sh(batch, c, 56, 56), K: kr(3, 3, 1, 1, 1, 1),
+			WeightBytes: int64(inC * c * 9), Ops: int64(2*inC*c*9*56*56) * int64(batch)})
+		_ = i
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("testNet: %v", err)
+	}
+	return g
+}
+
+func TestCoccoRunProducesFeasibleBaseline(t *testing.T) {
+	g := testNet(t, 1)
+	res, err := New(g, hw.Edge(), soma.EDP(), soma.FastParams()).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Cost <= 0 || math.IsInf(res.Cost, 1) {
+		t.Fatalf("cost = %g", res.Cost)
+	}
+	if !res.Metrics.BufferOK {
+		t.Fatal("baseline exceeds buffer")
+	}
+	// Cocco's FLC Set must equal its DRAM Cut Set.
+	for i := range res.Encoding.FLCs {
+		if !res.Encoding.IsDRAM[i] {
+			t.Fatal("Cocco produced a non-DRAM FLC")
+		}
+	}
+}
+
+func TestCoccoHeuristicTilingMonotonicity(t *testing.T) {
+	g := testNet(t, 1)
+	cfg := hw.Edge()
+	// A heavier group (more weights, bigger fmaps) must not tile coarser.
+	light := soma.HeuristicTile(g, cfg, []graph.LayerID{g.ComputeLayers()[0]})
+	heavy := soma.HeuristicTile(g, cfg, g.ComputeLayers())
+	if heavy < light {
+		t.Fatalf("heavier group tiles coarser: %d < %d", heavy, light)
+	}
+	if light < 1 || heavy < 1 {
+		t.Fatal("tiling numbers must be positive")
+	}
+}
+
+func TestCoccoTilingGrowsWithBatch(t *testing.T) {
+	g1, g8 := testNet(t, 1), testNet(t, 8)
+	cfg := hw.Edge()
+	t1 := soma.HeuristicTile(g1, cfg, g1.ComputeLayers())
+	t8 := soma.HeuristicTile(g8, cfg, g8.ComputeLayers())
+	if t8 <= t1 {
+		t.Fatalf("batch 8 should tile finer: %d <= %d", t8, t1)
+	}
+}
+
+func TestCoccoMutationKeepsInvariant(t *testing.T) {
+	g := testNet(t, 1)
+	e := New(g, hw.Edge(), soma.EDP(), soma.FastParams())
+	enc := core.DefaultEncoding(g, 1)
+	e.applyHeuristicTiling(enc)
+	rng := newRand(3)
+	for i := 0; i < 200; i++ {
+		c, ok := e.mutate(enc, rng)
+		if !ok {
+			continue
+		}
+		if err := c.Check(g); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		for j := range c.FLCs {
+			if !c.IsDRAM[j] {
+				t.Fatalf("iteration %d: non-DRAM cut in Cocco encoding", i)
+			}
+		}
+		enc = c
+	}
+}
+
+func TestSoMaBeatsOrMatchesCocco(t *testing.T) {
+	// SoMa explores a strict superset of Cocco's space; with equal search
+	// effort on a fusable CNN it must not lose by more than noise.
+	g := testNet(t, 1)
+	p := soma.DefaultParams()
+	base, err := New(g, hw.Edge(), soma.EDP(), p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := soma.New(g, hw.Edge(), soma.EDP(), p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.Cost > base.Cost*1.05 {
+		t.Fatalf("SoMa lost to Cocco: %g vs %g", ours.Cost, base.Cost)
+	}
+}

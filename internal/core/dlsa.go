@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ApplyDoubleBuffer installs the classical double-buffer DLSA the paper uses
+// as the baseline strategy (Sec. III-B): every load is prefetched one tile
+// ahead of its first use, every store drains during the following tile, and
+// the DRAM Tensor Order interleaves "store what tile t produced" right after
+// "prefetch what tile t+1 needs".
+func (s *Schedule) ApplyDoubleBuffer() {
+	n := s.NumTiles()
+	for i := range s.Tensors {
+		t := &s.Tensors[i]
+		if t.Kind.IsLoad() {
+			t.Start = t.FirstUse - 1
+			if t.Start < 0 {
+				t.Start = 0
+			}
+		} else {
+			t.End = t.Producer + 2
+			if t.End > n {
+				t.End = n
+			}
+		}
+	}
+	// Stores of tile t sort just before loads first used by tile t+1, so
+	// producer stores always precede their dependent reloads.
+	key := func(id int) int {
+		t := &s.Tensors[id]
+		if t.Kind.IsLoad() {
+			return 2 * t.FirstUse
+		}
+		return 2*t.Producer + 1
+	}
+	sort.SliceStable(s.Order, func(a, b int) bool {
+		return key(s.Order[a]) < key(s.Order[b])
+	})
+}
+
+// OrderValid reports whether the DRAM Tensor Order is a permutation that
+// places every producer store before the loads that re-read its data
+// (violations deadlock the serial DRAM channel).
+func (s *Schedule) OrderValid() bool {
+	if len(s.Order) != len(s.Tensors) {
+		return false
+	}
+	pos := make([]int, len(s.Tensors))
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, id := range s.Order {
+		if id < 0 || id >= len(s.Tensors) || pos[id] != -1 {
+			return false
+		}
+		pos[id] = i
+	}
+	for i := range s.Tensors {
+		t := &s.Tensors[i]
+		for _, st := range t.AfterStores {
+			if pos[st] > pos[t.ID] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LivingValid reports whether every Living Duration is inside its legal
+// range: loads must start no later than their first use and not before tile
+// zero; stores must end after their producing tile and no later than the end
+// of execution.
+func (s *Schedule) LivingValid() bool {
+	n := s.NumTiles()
+	for i := range s.Tensors {
+		t := &s.Tensors[i]
+		if t.Kind.IsLoad() {
+			if t.Start < 0 || t.Start > t.FirstUse {
+				return false
+			}
+		} else {
+			if t.End <= t.Producer || t.End > n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MoveTensor relocates the tensor at order position from to position to.
+// The move is rejected (returning false, order unchanged) when it would put
+// a load before a store it depends on.
+func (s *Schedule) MoveTensor(from, to int) bool {
+	n := len(s.Order)
+	if from < 0 || from >= n || to < 0 || to >= n || from == to {
+		return false
+	}
+	id := s.Order[from]
+	t := &s.Tensors[id]
+	// Fast legality: a load may not move before its latest AfterStore; a
+	// store may not move after its earliest dependent load.
+	if to < from && len(t.AfterStores) > 0 {
+		after := make(map[int]bool, len(t.AfterStores))
+		for _, st := range t.AfterStores {
+			after[st] = true
+		}
+		for p := to; p < from; p++ {
+			if after[s.Order[p]] {
+				return false
+			}
+		}
+	}
+	if to > from && t.Kind == StoreOfmap {
+		for p := from + 1; p <= to; p++ {
+			cand := &s.Tensors[s.Order[p]]
+			for _, st := range cand.AfterStores {
+				if st == id {
+					return false
+				}
+			}
+		}
+	}
+	copy(s.Order[from:], s.Order[from+1:])
+	copy(s.Order[to+1:], s.Order[to:n-1])
+	s.Order[to] = id
+	return true
+}
+
+// SetStart adjusts a load's Living Duration start (prefetch earlier or
+// later), clamped to [0, FirstUse]. Returns false for stores.
+func (s *Schedule) SetStart(id, start int) bool {
+	if id < 0 || id >= len(s.Tensors) {
+		return false
+	}
+	t := &s.Tensors[id]
+	if !t.Kind.IsLoad() {
+		return false
+	}
+	if start < 0 {
+		start = 0
+	}
+	if start > t.FirstUse {
+		start = t.FirstUse
+	}
+	t.Start = start
+	return true
+}
+
+// SetEnd adjusts a store's Living Duration end (delay the writeback),
+// clamped to [Producer+1, NumTiles]. Returns false for loads.
+func (s *Schedule) SetEnd(id, end int) bool {
+	if id < 0 || id >= len(s.Tensors) {
+		return false
+	}
+	t := &s.Tensors[id]
+	if t.Kind.IsLoad() {
+		return false
+	}
+	if end <= t.Producer {
+		end = t.Producer + 1
+	}
+	if n := s.NumTiles(); end > n {
+		end = n
+	}
+	t.End = end
+	return true
+}
+
+// DLSA is the serialized DRAM-Load-and-Store-related attribute set: the
+// tensor order plus every adjustable Start/End. It lets explorers snapshot
+// and restore the stage-2 state cheaply.
+type DLSA struct {
+	Order []int
+	Start []int
+	End   []int
+}
+
+// ExtractDLSA snapshots the schedule's current DLSA.
+func (s *Schedule) ExtractDLSA() DLSA {
+	d := DLSA{
+		Order: append([]int(nil), s.Order...),
+		Start: make([]int, len(s.Tensors)),
+		End:   make([]int, len(s.Tensors)),
+	}
+	for i := range s.Tensors {
+		d.Start[i] = s.Tensors[i].Start
+		d.End[i] = s.Tensors[i].End
+	}
+	return d
+}
+
+// ApplyDLSA restores a snapshot taken from a schedule with the same tensor
+// set.
+func (s *Schedule) ApplyDLSA(d DLSA) error {
+	if len(d.Order) != len(s.Tensors) || len(d.Start) != len(s.Tensors) || len(d.End) != len(s.Tensors) {
+		return fmt.Errorf("core: DLSA shape mismatch (%d tensors)", len(s.Tensors))
+	}
+	s.Order = append(s.Order[:0], d.Order...)
+	for i := range s.Tensors {
+		s.Tensors[i].Start = d.Start[i]
+		s.Tensors[i].End = d.End[i]
+	}
+	if !s.OrderValid() || !s.LivingValid() {
+		return fmt.Errorf("core: DLSA snapshot is not legal for this schedule")
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEncodingStringShapes(t *testing.T) {
+	g, ids := fig4(t)
+	e := fig4Encoding(ids)
+	s := e.String()
+	// Bracket notation: three groups, one fine cut, one DRAM cut, all
+	// tiling numbers annotated.
+	if strings.Count(s, ":") != 3 {
+		t.Fatalf("expected 3 tiling annotations in %q", s)
+	}
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		t.Fatalf("not bracketed: %q", s)
+	}
+	_ = g
+}
+
+func TestFLGLayersViews(t *testing.T) {
+	g, ids := fig4(t)
+	e := fig4Encoding(ids)
+	if got := e.FLGLayers(0); len(got) != 1 || got[0] != ids["A"] {
+		t.Fatalf("FLG0 = %v", got)
+	}
+	if got := e.FLGLayers(2); len(got) != 3 {
+		t.Fatalf("FLG2 = %v", got)
+	}
+	_ = g
+}
+
+func TestRemoveFLCMergesLGs(t *testing.T) {
+	g, ids := fig4(t)
+	e := fig4Encoding(ids)
+	if e.NumLGs() != 2 {
+		t.Fatalf("LGs = %d", e.NumLGs())
+	}
+	// Removing the DRAM cut (index 1) merges the two LGs.
+	if !e.RemoveFLC(1, 2) {
+		t.Fatal("RemoveFLC failed")
+	}
+	if e.NumLGs() != 1 {
+		t.Fatalf("LGs after merge = %d", e.NumLGs())
+	}
+	if err := e.Check(g); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestTensorKindHelpers(t *testing.T) {
+	if !LoadWeight.IsLoad() || !LoadIfmap.IsLoad() || StoreOfmap.IsLoad() {
+		t.Fatal("IsLoad misclassifies")
+	}
+	if LoadWeight.String() != "W" || LoadIfmap.String() != "I" || StoreOfmap.String() != "O" {
+		t.Fatal("kind strings wrong")
+	}
+	if TensorKind(42).String() != "?" {
+		t.Fatal("unknown kind must render as ?")
+	}
+}
+
+func TestScheduleCloneSharesImmutableTiles(t *testing.T) {
+	g, ids := fig4(t)
+	s := mustParse(t, g, fig4Encoding(ids))
+	c := s.Clone()
+	if &s.Tiles[0] != &c.Tiles[0] {
+		t.Fatal("tiles should be shared between clones (immutable)")
+	}
+	if &s.Tensors[0] == &c.Tensors[0] {
+		t.Fatal("tensors must be copied")
+	}
+}

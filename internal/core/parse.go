@@ -1,0 +1,494 @@
+package core
+
+import (
+	"fmt"
+
+	"soma/internal/coresched"
+	"soma/internal/graph"
+	"soma/internal/tiling"
+)
+
+// TensorKind classifies a DRAM tensor.
+type TensorKind int
+
+const (
+	// LoadWeight streams a layer's parameters (or decode KV cache) from
+	// DRAM into the GBUF once per execution.
+	LoadWeight TensorKind = iota
+	// LoadIfmap streams a feature-map slab a consuming tile needs from
+	// DRAM (cross-LG dependency or network input).
+	LoadIfmap
+	// StoreOfmap writes a produced feature-map slab back to DRAM
+	// (cross-LG dependency or network output).
+	StoreOfmap
+)
+
+func (k TensorKind) String() string {
+	switch k {
+	case LoadWeight:
+		return "W"
+	case LoadIfmap:
+		return "I"
+	case StoreOfmap:
+		return "O"
+	default:
+		return "?"
+	}
+}
+
+// IsLoad reports whether the tensor moves DRAM -> GBUF.
+func (k TensorKind) IsLoad() bool { return k != StoreOfmap }
+
+// Tile is one entry of the global computing sequence.
+type Tile struct {
+	// Seq is the position in the compute pipeline (dense, 0-based).
+	Seq int
+	// Layer is the layer this tile evaluates.
+	Layer graph.LayerID
+	// FLG / LG are the fusion-group indices the tile belongs to.
+	FLG, LG int
+	// Index is the tile index within the FLG (the i of "A_i").
+	Index int
+	// Region is the computed output slab including recomputed halo rows;
+	// Own is the disjoint contribution to the aggregate ofmap.
+	Region, Own tiling.Region
+}
+
+// Tensor is one DRAM tensor with its Living Duration. Start (loads) and End
+// (stores) are the DLSA-adjustable fields; everything else is fixed by the
+// LFA parse.
+type Tensor struct {
+	ID   int
+	Kind TensorKind
+	// Layer is the consumer for loads and the producer for stores.
+	Layer graph.LayerID
+	// Source is the producing layer of an ifmap load (possibly an Input
+	// pseudo-layer); None otherwise.
+	Source graph.LayerID
+	// Bytes is the transfer size.
+	Bytes int64
+
+	// FirstUse is the seq of the first consuming tile (loads). The load
+	// must complete before that tile starts, and Start may range over
+	// [0, FirstUse].
+	FirstUse int
+	// Release is the fixed buffer-release point of a load (exclusive
+	// seq): after the last consuming tile (ifmaps) or after the FLG's
+	// last tile (weights).
+	Release int
+	// Producer is the seq of the tile generating a store; -1 for loads.
+	Producer int
+	// OnChipHi extends a store's buffer interval when the same ofmap
+	// slab is also consumed on-chip (exclusive seq; 0 if none).
+	OnChipHi int
+
+	// Start is the Living Duration start of a load: the transfer may
+	// begin once every tile with seq < Start has finished.
+	Start int
+	// End is the Living Duration end of a store: tile End cannot start
+	// until the transfer finished. End == nTiles means "by the end of
+	// the execution".
+	End int
+
+	// AfterStores lists store-tensor IDs that must complete before this
+	// load may begin (the producer's data must reach DRAM first).
+	AfterStores []int
+}
+
+// Interval is an on-chip buffer occupation over tile seqs [Lo, Hi).
+type Interval struct {
+	Lo, Hi int
+	Bytes  int64
+}
+
+// Schedule is a fully parsed encoding: the compute sequence, the DRAM tensor
+// set in DRAM Tensor Order, and all buffer bookkeeping. It is the object the
+// DLSA exploration stage mutates and the evaluator consumes.
+type Schedule struct {
+	G   *graph.Graph
+	Enc *Encoding
+
+	Tiles []Tile
+	// Tensors is indexed by Tensor.ID.
+	Tensors []Tensor
+	// Order is the DRAM Tensor Order: a permutation of tensor IDs.
+	Order []int
+	// OnChip are the static on-chip fmap intervals (same-FLG tile slabs
+	// and cross-FLG aggregates).
+	OnChip []Interval
+
+	// LayerTiles[layer] lists the tile seqs of each layer, in order.
+	LayerTiles map[graph.LayerID][]int
+}
+
+// NumTiles returns the compute-sequence length.
+func (s *Schedule) NumTiles() int { return len(s.Tiles) }
+
+// Clone deep-copies the schedule (tiles and intervals are immutable between
+// DLSA moves, so they are shared; tensors and order are copied).
+func (s *Schedule) Clone() *Schedule {
+	c := *s
+	c.Tensors = append([]Tensor(nil), s.Tensors...)
+	for i := range c.Tensors {
+		c.Tensors[i].AfterStores = s.Tensors[i].AfterStores // immutable
+	}
+	c.Order = append([]int(nil), s.Order...)
+	return &c
+}
+
+// Parse lowers an encoding into a Schedule, or fails when the encoding is
+// illegal (bad order/cuts, or a global dependency inside a multi-tile FLG).
+// The resulting schedule carries the classical double-buffer DLSA; callers
+// explore alternatives via the DLSA methods.
+func Parse(g *graph.Graph, e *Encoding) (*Schedule, error) {
+	if err := e.Check(g); err != nil {
+		return nil, err
+	}
+	s := &Schedule{G: g, Enc: e, LayerTiles: make(map[graph.LayerID][]int)}
+
+	// Positions and group indices per layer.
+	posOf := make(map[graph.LayerID]int, len(e.Order))
+	for p, id := range e.Order {
+		posOf[id] = p
+	}
+	flgOf := make(map[graph.LayerID]int, len(e.Order))
+	lgOf := make(map[graph.LayerID]int, len(e.Order))
+
+	// Tiling plans and the global tile sequence (FLGs in order, each
+	// enumerated tile-major).
+	plans := make([]*tiling.Plan, e.NumFLGs())
+	flgLast := make([]int, e.NumFLGs()) // seq of each FLG's last tile
+	type tileKey struct {
+		layer graph.LayerID
+		idx   int
+	}
+	seqOf := make(map[tileKey]int)
+	for f := 0; f < e.NumFLGs(); f++ {
+		layers := e.FLGLayers(f)
+		plan, err := tiling.New(g, layers, e.Tile[f])
+		if err != nil {
+			return nil, fmt.Errorf("core: FLG %d: %w", f, err)
+		}
+		plans[f] = plan
+		lg := e.LGOfPos(posOf[layers[0]])
+		for t := 0; t < plan.Tiles; t++ {
+			for li, id := range layers {
+				seq := len(s.Tiles)
+				s.Tiles = append(s.Tiles, Tile{
+					Seq: seq, Layer: id, FLG: f, LG: lg, Index: t,
+					Region: plan.Computed[li][t],
+					Own:    plan.Owned[li][t],
+				})
+				s.LayerTiles[id] = append(s.LayerTiles[id], seq)
+				seqOf[tileKey{id, t}] = seq
+				flgOf[id], lgOf[id] = f, lg
+			}
+		}
+		flgLast[f] = len(s.Tiles) - 1
+	}
+	n := len(s.Tiles)
+	eb := int64(g.ElemBytes)
+
+	// Stores first (loads reference them through AfterStores). A layer's
+	// ofmap is stored once per tile if any dependency crosses an LG
+	// boundary or the layer is a network output.
+	storeIDs := make(map[graph.LayerID][]int)
+	for _, id := range e.Order {
+		needStore := g.IsOutput(id)
+		for _, cid := range g.Consumers(id) {
+			if lgOf[cid] != lgOf[id] {
+				needStore = true
+			}
+		}
+		if !needStore {
+			continue
+		}
+		// On-chip consumers extend the buffer life of the stored slab.
+		onChipHi := 0
+		for _, cid := range g.Consumers(id) {
+			if lgOf[cid] == lgOf[id] {
+				ct := s.LayerTiles[cid]
+				if hi := ct[len(ct)-1] + 1; hi > onChipHi {
+					onChipHi = hi
+				}
+			}
+		}
+		for _, seq := range s.LayerTiles[id] {
+			tl := &s.Tiles[seq]
+			bytes := tl.Own.Elems(g.Layer(id).Out.C) * eb
+			if bytes == 0 {
+				continue
+			}
+			t := Tensor{
+				ID: len(s.Tensors), Kind: StoreOfmap, Layer: id,
+				Source: graph.None, Bytes: bytes,
+				FirstUse: seq, Producer: seq, OnChipHi: onChipHi,
+				Start: seq, End: n,
+			}
+			s.Tensors = append(s.Tensors, t)
+			storeIDs[id] = append(storeIDs[id], t.ID)
+		}
+	}
+
+	// Weight loads: one resident tensor per weighted layer, released at
+	// FLG completion. Per-sample weight state (decode KV caches) instead
+	// streams per tile, scaled to the batch slice the tile covers.
+	for _, id := range e.Order {
+		l := g.Layer(id)
+		if l.WeightBytes == 0 {
+			continue
+		}
+		if l.WeightsPerSample {
+			for _, seq := range s.LayerTiles[id] {
+				r := s.Tiles[seq].Region
+				bytes := l.WeightBytes * int64(r.N1-r.N0) / int64(l.Out.N)
+				if bytes == 0 {
+					continue
+				}
+				s.Tensors = append(s.Tensors, Tensor{
+					ID: len(s.Tensors), Kind: LoadWeight, Layer: id,
+					Source: graph.None, Bytes: bytes,
+					FirstUse: seq, Release: seq + 1,
+					Producer: -1, Start: seq,
+				})
+			}
+			continue
+		}
+		first := s.LayerTiles[id][0]
+		s.Tensors = append(s.Tensors, Tensor{
+			ID: len(s.Tensors), Kind: LoadWeight, Layer: id,
+			Source: graph.None, Bytes: l.WeightBytes,
+			FirstUse: first, Release: flgLast[flgOf[id]] + 1,
+			Producer: -1, Start: first,
+		})
+	}
+
+	// Ifmap loads and on-chip intervals, per dependency edge.
+	for _, id := range e.Order {
+		l := g.Layer(id)
+		myTiles := s.LayerTiles[id]
+		for _, d := range l.Deps {
+			p := g.Layer(d.Producer)
+			fromDRAM := p.Kind == graph.Input || lgOf[d.Producer] != lgOf[id]
+			switch {
+			case fromDRAM && d.Global:
+				// A single-tile consumer keeps the whole operand
+				// resident; a tiled consumer streams its batch
+				// rows' full spatial extent per tile (the only way
+				// attention over a large context fits the buffer -
+				// at the price of re-reading it under spatial
+				// splits, a trade-off the SA owns).
+				full := p.Out.Bytes(g.ElemBytes)
+				if len(myTiles) == 1 {
+					s.Tensors = append(s.Tensors, Tensor{
+						ID: len(s.Tensors), Kind: LoadIfmap, Layer: id,
+						Source: d.Producer, Bytes: full,
+						FirstUse: myTiles[0], Release: myTiles[len(myTiles)-1] + 1,
+						Producer: -1, Start: myTiles[0],
+						AfterStores: storeIDs[d.Producer],
+					})
+					continue
+				}
+				for _, seq := range myTiles {
+					r := s.Tiles[seq].Region
+					bytes := full * int64(r.N1-r.N0) / int64(l.Out.N)
+					if bytes == 0 {
+						continue
+					}
+					s.Tensors = append(s.Tensors, Tensor{
+						ID: len(s.Tensors), Kind: LoadIfmap, Layer: id,
+						Source: d.Producer, Bytes: bytes,
+						FirstUse: seq, Release: seq + 1,
+						Producer: -1, Start: seq,
+						AfterStores: storeIDs[d.Producer],
+					})
+				}
+			case fromDRAM:
+				// Per-tile slab loads (with halo duplication).
+				for _, seq := range myTiles {
+					r := tiling.InputRegion(l, d.Producer, g, s.Tiles[seq].Region)
+					bytes := r.Elems(p.Out.C) * eb
+					if bytes == 0 {
+						continue
+					}
+					s.Tensors = append(s.Tensors, Tensor{
+						ID: len(s.Tensors), Kind: LoadIfmap, Layer: id,
+						Source: d.Producer, Bytes: bytes,
+						FirstUse: seq, Release: seq + 1,
+						Producer: -1, Start: seq,
+						AfterStores: storeIDs[d.Producer],
+					})
+				}
+			case flgOf[d.Producer] == flgOf[id]:
+				// Same FLG: the producer's computed slab of tile t
+				// lives until this consumer's tile t finishes.
+				for t, pseq := range s.LayerTiles[d.Producer] {
+					cseq := seqOf[tileKey{id, t}]
+					bytes := s.Tiles[pseq].Region.Elems(p.Out.C) * eb
+					s.OnChip = append(s.OnChip, Interval{Lo: pseq, Hi: cseq + 1, Bytes: bytes})
+				}
+			default:
+				// Same LG, earlier FLG: the producer's owned slabs
+				// aggregate on-chip until this consumer finishes.
+				// Emitted once per producer below to avoid double
+				// counting across multiple consumers.
+			}
+		}
+	}
+
+	// Cross-FLG same-LG aggregates: one interval per producer tile,
+	// spanning to the last cross-FLG consumer. Skips producers whose data
+	// already persists through a store's OnChipHi extension.
+	for _, id := range e.Order {
+		if len(storeIDs[id]) > 0 {
+			continue // store intervals already cover the slabs
+		}
+		hi := 0
+		for _, cid := range g.Consumers(id) {
+			if lgOf[cid] == lgOf[id] && flgOf[cid] != flgOf[id] {
+				ct := s.LayerTiles[cid]
+				if h := ct[len(ct)-1] + 1; h > hi {
+					hi = h
+				}
+			}
+		}
+		if hi == 0 {
+			continue
+		}
+		for _, pseq := range s.LayerTiles[id] {
+			bytes := s.Tiles[pseq].Own.Elems(g.Layer(id).Out.C) * eb
+			if bytes > 0 {
+				s.OnChip = append(s.OnChip, Interval{Lo: pseq, Hi: hi, Bytes: bytes})
+			}
+		}
+	}
+
+	s.Order = make([]int, len(s.Tensors))
+	for i := range s.Order {
+		s.Order[i] = i
+	}
+	s.ApplyDoubleBuffer()
+	return s, nil
+}
+
+// TileRequest builds the core-array scheduler request of tile i.
+func (s *Schedule) TileRequest(i int) coresched.Request {
+	tl := &s.Tiles[i]
+	l := s.G.Layer(tl.Layer)
+	eb := int64(s.G.ElemBytes)
+	regionElems := tl.Region.Elems(l.Out.C)
+	fullElems := l.Out.Elems()
+	ops := int64(float64(l.Ops) * float64(regionElems) / float64(fullElems))
+
+	var inBytes int64
+	inC := 1
+	for di, d := range l.Deps {
+		p := s.G.Layer(d.Producer)
+		if di == 0 {
+			inC = p.Out.C
+		}
+		if d.Global {
+			inBytes += p.Out.Bytes(s.G.ElemBytes) *
+				int64(tl.Region.N1-tl.Region.N0) / int64(l.Out.N)
+			continue
+		}
+		r := tiling.InputRegion(l, d.Producer, s.G, tl.Region)
+		inBytes += r.Elems(p.Out.C) * eb
+	}
+	wBytes := l.WeightBytes
+	if l.WeightsPerSample {
+		wBytes = wBytes * int64(tl.Region.N1-tl.Region.N0) / int64(l.Out.N)
+	}
+	return coresched.Request{
+		Kind:     l.Kind,
+		OutElems: tl.Region.Elems(1),
+		OutC:     l.Out.C,
+		InC:      inC,
+		KH:       l.K.KH, KW: l.K.KW,
+		InBytes:     inBytes,
+		OutBytes:    regionElems * eb,
+		WeightBytes: wBytes,
+		Ops:         ops,
+		ElemBytes:   s.G.ElemBytes,
+	}
+}
+
+// BufferUsage returns the buffer occupancy at each tile seq, combining the
+// static on-chip intervals with the Living Durations of the DRAM tensors.
+func (s *Schedule) BufferUsage() []int64 {
+	n := s.NumTiles()
+	diff := make([]int64, n+1)
+	addIv := func(lo, hi int, b int64) {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi || b == 0 {
+			return
+		}
+		diff[lo] += b
+		diff[hi] -= b
+	}
+	for _, iv := range s.OnChip {
+		addIv(iv.Lo, iv.Hi, iv.Bytes)
+	}
+	for i := range s.Tensors {
+		t := &s.Tensors[i]
+		if t.Kind.IsLoad() {
+			addIv(t.Start, t.Release, t.Bytes)
+		} else {
+			hi := t.End
+			if t.OnChipHi > hi {
+				hi = t.OnChipHi
+			}
+			addIv(t.Producer, hi, t.Bytes)
+		}
+	}
+	usage := make([]int64, n)
+	var acc int64
+	for i := 0; i < n; i++ {
+		acc += diff[i]
+		usage[i] = acc
+	}
+	return usage
+}
+
+// PeakBuffer returns the maximum buffer occupancy over the execution.
+func (s *Schedule) PeakBuffer() int64 {
+	var peak int64
+	for _, u := range s.BufferUsage() {
+		if u > peak {
+			peak = u
+		}
+	}
+	return peak
+}
+
+// TotalDRAMBytes sums all DRAM tensor sizes.
+func (s *Schedule) TotalDRAMBytes() int64 {
+	var b int64
+	for i := range s.Tensors {
+		b += s.Tensors[i].Bytes
+	}
+	return b
+}
+
+// Stats summarizes the schedule's fusion structure (Sec. VI-B metrics).
+type Stats struct {
+	Tiles, Tensors int
+	FLGs, LGs      int
+	DRAMBytes      int64
+}
+
+// Summarize computes the fusion statistics of the schedule.
+func (s *Schedule) Summarize() Stats {
+	return Stats{
+		Tiles:     s.NumTiles(),
+		Tensors:   len(s.Tensors),
+		FLGs:      s.Enc.NumFLGs(),
+		LGs:       s.Enc.NumLGs(),
+		DRAMBytes: s.TotalDRAMBytes(),
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"soma/internal/graph"
+)
+
+// SchemeJSON is the serialized "detailed scheduling scheme" the framework
+// outputs (paper Fig. 5): the complete encoding - all six attributes - in a
+// stable, human-readable form that external tools (or the instruction
+// generator of another accelerator) can consume.
+type SchemeJSON struct {
+	Version int    `json:"version"`
+	Graph   string `json:"graph"`
+	// LFA attributes.
+	Order   []int  `json:"computing_order"`
+	FLCs    []int  `json:"flc_set"`
+	DRAMCut []bool `json:"dram_cut"`
+	Tiling  []int  `json:"tiling_numbers"`
+	// DLSA attributes.
+	TensorOrder []int        `json:"dram_tensor_order"`
+	Tensors     []TensorJSON `json:"tensors"`
+}
+
+// TensorJSON is one DRAM tensor with its Living Duration.
+type TensorJSON struct {
+	ID    int    `json:"id"`
+	Kind  string `json:"kind"`
+	Layer string `json:"layer"`
+	Bytes int64  `json:"bytes"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+}
+
+// WriteScheme serializes the schedule's complete encoding.
+func (s *Schedule) WriteScheme(w io.Writer) error {
+	sj := SchemeJSON{
+		Version: 1,
+		Graph:   s.G.Name,
+		FLCs:    append([]int{}, s.Enc.FLCs...),
+		DRAMCut: append([]bool{}, s.Enc.IsDRAM...),
+		Tiling:  append([]int{}, s.Enc.Tile...),
+	}
+	for _, id := range s.Enc.Order {
+		sj.Order = append(sj.Order, int(id))
+	}
+	sj.TensorOrder = append(sj.TensorOrder, s.Order...)
+	for i := range s.Tensors {
+		t := &s.Tensors[i]
+		end := t.End
+		if t.Kind.IsLoad() {
+			end = t.Release
+		}
+		sj.Tensors = append(sj.Tensors, TensorJSON{
+			ID: t.ID, Kind: t.Kind.String(),
+			Layer: s.G.Layer(t.Layer).Name, Bytes: t.Bytes,
+			Start: t.Start, End: end,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sj)
+}
+
+// ReadScheme parses a serialized scheme and re-instantiates it against the
+// given graph: the encoding is parsed from scratch and the stored DLSA is
+// applied, so the result is guaranteed internally consistent (or an error).
+func ReadScheme(g *graph.Graph, r io.Reader) (*Schedule, error) {
+	var sj SchemeJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, err
+	}
+	if sj.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported scheme version %d", sj.Version)
+	}
+	e := &Encoding{
+		FLCs:   sj.FLCs,
+		IsDRAM: sj.DRAMCut,
+		Tile:   sj.Tiling,
+	}
+	for _, id := range sj.Order {
+		e.Order = append(e.Order, graph.LayerID(id))
+	}
+	s, err := Parse(g, e)
+	if err != nil {
+		return nil, err
+	}
+	if len(sj.Tensors) != len(s.Tensors) {
+		return nil, fmt.Errorf("core: scheme has %d tensors, reparse produced %d",
+			len(sj.Tensors), len(s.Tensors))
+	}
+	d := DLSA{Order: sj.TensorOrder,
+		Start: make([]int, len(s.Tensors)), End: make([]int, len(s.Tensors))}
+	for i := range s.Tensors {
+		d.Start[i] = s.Tensors[i].Start
+		d.End[i] = s.Tensors[i].End
+	}
+	for _, tj := range sj.Tensors {
+		if tj.ID < 0 || tj.ID >= len(s.Tensors) {
+			return nil, fmt.Errorf("core: scheme tensor id %d out of range", tj.ID)
+		}
+		if s.Tensors[tj.ID].Kind.IsLoad() {
+			d.Start[tj.ID] = tj.Start
+		} else {
+			d.End[tj.ID] = tj.End
+		}
+	}
+	if err := s.ApplyDLSA(d); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

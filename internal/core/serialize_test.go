@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSchemeRoundTrip(t *testing.T) {
+	g, ids := fig4(t)
+	s := mustParse(t, g, fig4Encoding(ids))
+	// Perturb the DLSA so the round trip is non-trivial.
+	for i := range s.Tensors {
+		if s.Tensors[i].Kind.IsLoad() {
+			s.SetStart(s.Tensors[i].ID, 0)
+		} else {
+			s.SetEnd(s.Tensors[i].ID, s.NumTiles())
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteScheme(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"computing_order", "flc_set", "dram_tensor_order", "tiling_numbers"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("scheme missing %q", want)
+		}
+	}
+	back, err := ReadScheme(g, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTiles() != s.NumTiles() || len(back.Tensors) != len(s.Tensors) {
+		t.Fatal("structure mismatch after round trip")
+	}
+	a, b := s.ExtractDLSA(), back.ExtractDLSA()
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatal("tensor order not restored")
+		}
+	}
+	for i := range a.Start {
+		if a.Start[i] != b.Start[i] || a.End[i] != b.End[i] {
+			t.Fatalf("living duration %d not restored: (%d,%d) vs (%d,%d)",
+				i, a.Start[i], a.End[i], b.Start[i], b.End[i])
+		}
+	}
+	if !back.OrderValid() || !back.LivingValid() {
+		t.Fatal("round-tripped schedule invalid")
+	}
+}
+
+func TestReadSchemeRejects(t *testing.T) {
+	g, _ := fig4(t)
+	if _, err := ReadScheme(g, strings.NewReader("{bad")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadScheme(g, strings.NewReader(`{"version":9}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	// A scheme from a different graph shape fails to re-instantiate.
+	if _, err := ReadScheme(g, strings.NewReader(
+		`{"version":1,"computing_order":[1],"tiling_numbers":[1]}`)); err == nil {
+		t.Fatal("incomplete order accepted")
+	}
+}

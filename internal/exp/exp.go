@@ -1,0 +1,444 @@
+// Package exp implements the paper's experiments: every figure of the
+// evaluation (Sec. VI) and discussion (Sec. VII) maps to one function here,
+// shared between the somabench command and the benchmark suite. See
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for paper-vs-measured
+// results.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"soma/internal/cocco"
+	"soma/internal/core"
+	"soma/internal/coresched"
+	"soma/internal/graph"
+	"soma/internal/hw"
+	"soma/internal/models"
+	"soma/internal/sim"
+	"soma/internal/soma"
+)
+
+// Platform returns the named hardware preset.
+func Platform(name string) (hw.Config, error) {
+	switch name {
+	case "edge":
+		return hw.Edge(), nil
+	case "cloud":
+		return hw.Cloud(), nil
+	default:
+		return hw.Config{}, fmt.Errorf("exp: unknown platform %q (edge|cloud)", name)
+	}
+}
+
+// Workloads returns the paper's Fig. 6 workload list for a platform (GPT-2
+// Small on edge, XL on cloud).
+func Workloads(platform string) []string {
+	gpt := "gpt2s"
+	if platform == "cloud" {
+		gpt = "gpt2xl"
+	}
+	return []string{"resnet50", "resnet101", "ires", "randwire",
+		gpt + "-prefill", gpt + "-decode"}
+}
+
+// Batches are the paper's batch-size sweep.
+var Batches = []int{1, 4, 16, 64}
+
+// Row is one scheme's measured data point (one bar group of Fig. 6).
+type Row struct {
+	Scheme    string
+	LatencyNS float64
+	EnergyPJ  float64
+	CorePJ    float64
+	DRAMPJ    float64
+	Util      float64
+	TheoUtil  float64
+	AvgBufMB  float64
+	PeakBufMB float64
+	DRAMBytes int64
+	Tiles     int
+	Tensors   int
+	LGs       int
+	FLGs      int
+}
+
+func rowFromMetrics(scheme string, m *sim.Metrics, s *core.Schedule) Row {
+	st := s.Summarize()
+	return Row{
+		Scheme:    scheme,
+		LatencyNS: m.LatencyNS,
+		EnergyPJ:  m.EnergyPJ,
+		CorePJ:    m.CoreEnergyPJ,
+		DRAMPJ:    m.DRAMEnergyPJ,
+		Util:      m.Utilization,
+		TheoUtil:  m.TheoreticalMaxUtil,
+		AvgBufMB:  m.AvgBufferBytes / (1 << 20),
+		PeakBufMB: float64(m.PeakBufferBytes) / (1 << 20),
+		DRAMBytes: m.TotalDRAMBytes,
+		Tiles:     st.Tiles,
+		Tensors:   st.Tensors,
+		LGs:       st.LGs,
+		FLGs:      st.FLGs,
+	}
+}
+
+// Case identifies one experiment point.
+type Case struct {
+	Platform string
+	Workload string
+	Batch    int
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("%s/%s/b%d", c.Platform, c.Workload, c.Batch)
+}
+
+// PairResult is one Fig. 6 bar group: Cocco vs SoMa stage 1 vs stage 2.
+type PairResult struct {
+	Case  Case
+	Cocco Row
+	Ours1 Row
+	Ours2 Row
+	Err   error
+}
+
+// RunPair runs the baseline and both SoMa stages on one case.
+func RunPair(c Case, par soma.Params) PairResult {
+	out := PairResult{Case: c}
+	cfg, err := Platform(c.Platform)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	g, err := models.Build(c.Workload, c.Batch)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	base, err := cocco.New(g, cfg, soma.EDP(), par).Run()
+	if err != nil {
+		out.Err = fmt.Errorf("cocco %s: %w", c, err)
+		return out
+	}
+	out.Cocco = rowFromMetrics("cocco", base.Metrics, base.Schedule)
+
+	ours, err := soma.New(g, cfg, soma.EDP(), par).Run()
+	if err != nil {
+		out.Err = fmt.Errorf("soma %s: %w", c, err)
+		return out
+	}
+	// Stage 1 metrics come from re-parsing the winning encoding with the
+	// heuristic double-buffer DLSA (what "Ours_1" shows in Fig. 6).
+	s1sched, err := core.Parse(g, ours.Encoding)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Ours1 = rowFromMetrics("ours1", ours.Stage1.Metrics, s1sched)
+	out.Ours2 = rowFromMetrics("ours2", ours.Stage2.Metrics, ours.Schedule)
+	return out
+}
+
+// ParallelMap runs fn over all cases using up to workers goroutines,
+// preserving input order in the result.
+func ParallelMap[T any](items []T, workers int, fn func(T) PairResult) []PairResult {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	out := make([]PairResult, len(items))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = fn(items[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Fig6Cases enumerates the 48 (platform, workload, batch) points of Fig. 6.
+func Fig6Cases() []Case {
+	var cs []Case
+	for _, pf := range []string{"edge", "cloud"} {
+		for _, w := range Workloads(pf) {
+			for _, b := range Batches {
+				cs = append(cs, Case{Platform: pf, Workload: w, Batch: b})
+			}
+		}
+	}
+	return cs
+}
+
+// Fig6 runs the overall comparison on the given cases.
+func Fig6(cases []Case, par soma.Params, workers int) []PairResult {
+	return ParallelMap(cases, workers, func(c Case) PairResult {
+		return RunPair(c, par)
+	})
+}
+
+// GeoMeans summarizes Fig. 6 results the way Sec. VI-B reports them:
+// geometric-mean speedups and energy ratios of SoMa over Cocco.
+type GeoMeans struct {
+	SpeedupStage1 float64 // Ours_1 vs Cocco
+	SpeedupStage2 float64 // Ours_2 vs Cocco
+	Stage2Extra   float64 // Ours_2 vs Ours_1
+	EnergyRatio   float64 // Ours_2 / Cocco energy
+	GapToBound    float64 // mean (bound - util)/bound of Ours_2
+	N             int
+}
+
+// Summarize folds valid pair results into geometric means.
+func Summarize(rs []PairResult) GeoMeans {
+	var gm GeoMeans
+	logSum := func(acc *float64, v float64) {
+		*acc += ln(v)
+	}
+	var s1, s2, extra, en, gap float64
+	for _, r := range rs {
+		if r.Err != nil || r.Cocco.LatencyNS == 0 || r.Ours2.LatencyNS == 0 {
+			continue
+		}
+		gm.N++
+		logSum(&s1, r.Cocco.LatencyNS/r.Ours1.LatencyNS)
+		logSum(&s2, r.Cocco.LatencyNS/r.Ours2.LatencyNS)
+		logSum(&extra, r.Ours1.LatencyNS/r.Ours2.LatencyNS)
+		logSum(&en, r.Ours2.EnergyPJ/r.Cocco.EnergyPJ)
+		gap += (r.Ours2.TheoUtil - r.Ours2.Util) / r.Ours2.TheoUtil
+	}
+	if gm.N == 0 {
+		return gm
+	}
+	n := float64(gm.N)
+	gm.SpeedupStage1 = exp(s1 / n)
+	gm.SpeedupStage2 = exp(s2 / n)
+	gm.Stage2Extra = exp(extra / n)
+	gm.EnergyRatio = exp(en / n)
+	gm.GapToBound = gap / n
+	return gm
+}
+
+// ScatterPoint is one dot of Fig. 3 (normalized ops vs DRAM access).
+type ScatterPoint struct {
+	Name     string
+	NormOps  float64
+	NormDRAM float64
+}
+
+// Fig3Layers produces the per-layer scatter of Fig. 3(a)/(b): each compute
+// layer's DRAM demand (weights + boundary fmaps, assuming no fusion) against
+// its operation count, both normalized to the maximum.
+func Fig3Layers(g *graph.Graph) []ScatterPoint {
+	var pts []ScatterPoint
+	var maxOps, maxDRAM float64
+	raw := make([][2]float64, 0, len(g.ComputeLayers()))
+	names := make([]string, 0, len(g.ComputeLayers()))
+	for _, id := range g.ComputeLayers() {
+		l := g.Layer(id)
+		dram := float64(l.WeightBytes)
+		for _, d := range l.Deps {
+			dram += float64(g.OutBytes(d.Producer))
+		}
+		dram += float64(g.OutBytes(id))
+		ops := float64(l.Ops)
+		raw = append(raw, [2]float64{ops, dram})
+		names = append(names, l.Name)
+		if ops > maxOps {
+			maxOps = ops
+		}
+		if dram > maxDRAM {
+			maxDRAM = dram
+		}
+	}
+	for i, r := range raw {
+		pts = append(pts, ScatterPoint{Name: names[i],
+			NormOps: r[0] / maxOps, NormDRAM: r[1] / maxDRAM})
+	}
+	return pts
+}
+
+// Fig3Tiles produces the per-tile scatter of Fig. 3(c)/(d) under the Cocco
+// baseline schedule: each computing tile's DRAM demand (the tensors it
+// gates) against its operation count.
+func Fig3Tiles(g *graph.Graph, cfg hw.Config, par soma.Params) ([]ScatterPoint, error) {
+	base, err := cocco.New(g, cfg, soma.EDP(), par).Run()
+	if err != nil {
+		return nil, err
+	}
+	s := base.Schedule
+	dramOf := make([]float64, s.NumTiles())
+	for i := range s.Tensors {
+		t := &s.Tensors[i]
+		if t.Kind.IsLoad() {
+			dramOf[t.FirstUse] += float64(t.Bytes)
+		} else {
+			dramOf[t.Producer] += float64(t.Bytes)
+		}
+	}
+	var maxOps, maxDRAM float64
+	ops := make([]float64, s.NumTiles())
+	for i := 0; i < s.NumTiles(); i++ {
+		ops[i] = float64(s.TileRequest(i).Ops)
+		if ops[i] > maxOps {
+			maxOps = ops[i]
+		}
+		if dramOf[i] > maxDRAM {
+			maxDRAM = dramOf[i]
+		}
+	}
+	if maxDRAM == 0 {
+		maxDRAM = 1
+	}
+	pts := make([]ScatterPoint, s.NumTiles())
+	for i := range pts {
+		pts[i] = ScatterPoint{
+			Name:     fmt.Sprintf("%s#%d", g.Layer(s.Tiles[i].Layer).Name, s.Tiles[i].Index),
+			NormOps:  ops[i] / maxOps,
+			NormDRAM: dramOf[i] / maxDRAM,
+		}
+	}
+	return pts, nil
+}
+
+// Spread quantifies how spread out along the axes a scatter is: the mean
+// angular deviation of each point from the balanced diagonal, normalized to
+// [0,1] (0 = every point has matched compute/DRAM demand, 1 = every point
+// sits on an axis). The paper's Fig. 3 claim is that per-tile points are
+// more spread out than per-layer points.
+func Spread(pts []ScatterPoint) float64 {
+	var acc float64
+	n := 0
+	for _, p := range pts {
+		if p.NormOps == 0 && p.NormDRAM == 0 {
+			acc += 1 // degenerate: counts as axis-hugging
+			n++
+			continue
+		}
+		angle := math.Atan2(p.NormDRAM, p.NormOps) // 0..pi/2
+		acc += math.Abs(angle-math.Pi/4) / (math.Pi / 4)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return acc / float64(n)
+}
+
+// DSEPoint is one cell of Fig. 7's heatmaps.
+type DSEPoint struct {
+	DRAMGBs  float64
+	BufferMB int64
+	// LatencyMS per scheme.
+	CoccoMS, SoMaMS float64
+	CoccoErr        string
+	SoMaErr         string
+}
+
+// Fig7Grid is the paper's DSE sweep for the 16 TOPS edge accelerator.
+var (
+	Fig7Bandwidths = []float64{8, 16, 32, 64, 128}
+	Fig7Buffers    = []int64{2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20}
+)
+
+// Fig7 sweeps DRAM bandwidth x buffer size for one workload/batch.
+func Fig7(workload string, batch int, par soma.Params, workers int) []DSEPoint {
+	type cell struct{ bw, buf int }
+	var cells []cell
+	for i := range Fig7Bandwidths {
+		for j := range Fig7Buffers {
+			cells = append(cells, cell{i, j})
+		}
+	}
+	out := make([]DSEPoint, len(cells))
+	var wg sync.WaitGroup
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, workers)
+	for idx, cl := range cells {
+		wg.Add(1)
+		go func(idx int, cl cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := hw.Edge().WithDRAM(Fig7Bandwidths[cl.bw]).WithGBuf(Fig7Buffers[cl.buf])
+			pt := DSEPoint{DRAMGBs: Fig7Bandwidths[cl.bw], BufferMB: Fig7Buffers[cl.buf] >> 20}
+			g, err := models.Build(workload, batch)
+			if err != nil {
+				pt.CoccoErr, pt.SoMaErr = err.Error(), err.Error()
+				out[idx] = pt
+				return
+			}
+			if base, err := cocco.New(g, cfg, soma.EDP(), par).Run(); err != nil {
+				pt.CoccoErr = err.Error()
+			} else {
+				pt.CoccoMS = base.Metrics.LatencyNS / 1e6
+			}
+			if ours, err := soma.New(g, cfg, soma.EDP(), par).Run(); err != nil {
+				pt.SoMaErr = err.Error()
+			} else {
+				pt.SoMaMS = ours.Stage2.Metrics.LatencyNS / 1e6
+			}
+			out[idx] = pt
+		}(idx, cl)
+	}
+	wg.Wait()
+	return out
+}
+
+// TracePair renders the Fig. 8 execution graphs: Cocco, SoMa stage 1 and
+// SoMa stage 2 schedules of one workload, each with a traced evaluation.
+type TracePair struct {
+	Cocco, Ours1, Ours2 *core.Schedule
+	MCocco, M1, M2      *sim.Metrics
+}
+
+// Fig8 produces the three traced schedules for one case.
+func Fig8(c Case, par soma.Params) (*TracePair, error) {
+	cfg, err := Platform(c.Platform)
+	if err != nil {
+		return nil, err
+	}
+	g, err := models.Build(c.Workload, c.Batch)
+	if err != nil {
+		return nil, err
+	}
+	cs := coresched.New(cfg)
+	base, err := cocco.New(g, cfg, soma.EDP(), par).Run()
+	if err != nil {
+		return nil, err
+	}
+	ours, err := soma.New(g, cfg, soma.EDP(), par).Run()
+	if err != nil {
+		return nil, err
+	}
+	s1, err := core.Parse(g, ours.Encoding)
+	if err != nil {
+		return nil, err
+	}
+	tp := &TracePair{Cocco: base.Schedule, Ours1: s1, Ours2: ours.Schedule}
+	if tp.MCocco, err = sim.Evaluate(base.Schedule, cs, sim.Options{Trace: true}); err != nil {
+		return nil, err
+	}
+	if tp.M1, err = sim.Evaluate(s1, cs, sim.Options{Trace: true}); err != nil {
+		return nil, err
+	}
+	if tp.M2, err = sim.Evaluate(ours.Schedule, cs, sim.Options{Trace: true}); err != nil {
+		return nil, err
+	}
+	return tp, nil
+}
+
+// SortCases orders cases deterministically (heavy ones first improves
+// parallel load balance is NOT done here; stable order for reports).
+func SortCases(cs []Case) {
+	sort.Slice(cs, func(a, b int) bool { return cs[a].String() < cs[b].String() })
+}

@@ -1,0 +1,218 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"soma/internal/models"
+	"soma/internal/soma"
+)
+
+func TestPlatform(t *testing.T) {
+	e, err := Platform("edge")
+	if err != nil || e.Name != "edge" {
+		t.Fatalf("edge: %v %v", e.Name, err)
+	}
+	c, err := Platform("cloud")
+	if err != nil || c.Name != "cloud" {
+		t.Fatalf("cloud: %v %v", c.Name, err)
+	}
+	if _, err := Platform("tpu"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestWorkloadsPairing(t *testing.T) {
+	edge := Workloads("edge")
+	cloud := Workloads("cloud")
+	if len(edge) != 6 || len(cloud) != 6 {
+		t.Fatalf("workload counts: %d %d", len(edge), len(cloud))
+	}
+	joinE, joinC := strings.Join(edge, ","), strings.Join(cloud, ",")
+	if !strings.Contains(joinE, "gpt2s-") || strings.Contains(joinE, "gpt2xl") {
+		t.Fatalf("edge pairing wrong: %v", edge)
+	}
+	if !strings.Contains(joinC, "gpt2xl-") || strings.Contains(joinC, "gpt2s-") {
+		t.Fatalf("cloud pairing wrong: %v", cloud)
+	}
+	for _, w := range append(edge, cloud...) {
+		if _, err := models.Build(w, 1); err != nil {
+			t.Fatalf("workload %s unbuildable: %v", w, err)
+		}
+	}
+}
+
+func TestFig6CasesCount(t *testing.T) {
+	cs := Fig6Cases()
+	// The paper's artifact runs 96 experiments for Fig. 6: 48 cases, each
+	// with baseline + ours.
+	if len(cs) != 48 {
+		t.Fatalf("cases = %d, want 48", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if seen[c.String()] {
+			t.Fatalf("duplicate case %s", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+func TestRunPairProducesOrderedRows(t *testing.T) {
+	r := RunPair(Case{Platform: "edge", Workload: "resnet50", Batch: 1}, soma.FastParams())
+	if r.Err != nil {
+		t.Fatalf("RunPair: %v", r.Err)
+	}
+	if r.Cocco.Scheme != "cocco" || r.Ours1.Scheme != "ours1" || r.Ours2.Scheme != "ours2" {
+		t.Fatalf("schemes: %s %s %s", r.Cocco.Scheme, r.Ours1.Scheme, r.Ours2.Scheme)
+	}
+	// Stage 2 must never be slower than stage 1 (same LFA, explored DLSA).
+	if r.Ours2.LatencyNS > r.Ours1.LatencyNS*1.0001 {
+		t.Fatalf("stage 2 regressed: %g > %g", r.Ours2.LatencyNS, r.Ours1.LatencyNS)
+	}
+	// The headline result: SoMa beats the baseline on ResNet-50.
+	if r.Ours2.LatencyNS >= r.Cocco.LatencyNS {
+		t.Fatalf("SoMa %g slower than Cocco %g", r.Ours2.LatencyNS, r.Cocco.LatencyNS)
+	}
+	if r.Ours2.EnergyPJ >= r.Cocco.EnergyPJ {
+		t.Fatalf("SoMa energy %g above Cocco %g", r.Ours2.EnergyPJ, r.Cocco.EnergyPJ)
+	}
+	// Fusion statistics go the paper's way.
+	if r.Cocco.Tiles <= r.Ours2.Tiles || r.Cocco.LGs <= r.Ours2.LGs {
+		t.Fatalf("fusion stats inverted: %+v vs %+v", r.Cocco, r.Ours2)
+	}
+}
+
+func TestRunPairUnknownWorkload(t *testing.T) {
+	r := RunPair(Case{Platform: "edge", Workload: "nope", Batch: 1}, soma.FastParams())
+	if r.Err == nil {
+		t.Fatal("unknown workload must error")
+	}
+	r = RunPair(Case{Platform: "nope", Workload: "resnet50", Batch: 1}, soma.FastParams())
+	if r.Err == nil {
+		t.Fatal("unknown platform must error")
+	}
+}
+
+func TestSummarizeGeoMeans(t *testing.T) {
+	rs := []PairResult{
+		{
+			Cocco: Row{LatencyNS: 200, EnergyPJ: 100},
+			Ours1: Row{LatencyNS: 120, EnergyPJ: 80},
+			Ours2: Row{LatencyNS: 100, EnergyPJ: 70, Util: 0.4, TheoUtil: 0.5},
+		},
+		{
+			Cocco: Row{LatencyNS: 400, EnergyPJ: 100},
+			Ours1: Row{LatencyNS: 250, EnergyPJ: 90},
+			Ours2: Row{LatencyNS: 200, EnergyPJ: 80, Util: 0.45, TheoUtil: 0.5},
+		},
+		{Err: errString("bad")}, // skipped
+	}
+	gm := Summarize(rs)
+	if gm.N != 2 {
+		t.Fatalf("N = %d", gm.N)
+	}
+	if gm.SpeedupStage2 < 1.9 || gm.SpeedupStage2 > 2.1 {
+		t.Fatalf("speedup = %g, want ~2", gm.SpeedupStage2)
+	}
+	if gm.EnergyRatio >= 1 {
+		t.Fatalf("energy ratio = %g", gm.EnergyRatio)
+	}
+	if gm.Stage2Extra <= 1 {
+		t.Fatalf("stage-2 extra = %g", gm.Stage2Extra)
+	}
+	if gm.GapToBound <= 0 || gm.GapToBound >= 1 {
+		t.Fatalf("gap = %g", gm.GapToBound)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestFig3LayersNormalization(t *testing.T) {
+	g, _ := models.Build("resnet50", 1)
+	pts := Fig3Layers(g)
+	if len(pts) != len(g.ComputeLayers()) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	var maxOps, maxDRAM float64
+	for _, p := range pts {
+		if p.NormOps < 0 || p.NormOps > 1 || p.NormDRAM < 0 || p.NormDRAM > 1 {
+			t.Fatalf("point out of range: %+v", p)
+		}
+		if p.NormOps > maxOps {
+			maxOps = p.NormOps
+		}
+		if p.NormDRAM > maxDRAM {
+			maxDRAM = p.NormDRAM
+		}
+	}
+	if maxOps != 1 || maxDRAM != 1 {
+		t.Fatalf("normalization must reach 1: %g %g", maxOps, maxDRAM)
+	}
+}
+
+func TestFig3TilesMoreSpreadThanLayers(t *testing.T) {
+	g, _ := models.Build("resnet50", 1)
+	cfg, _ := Platform("edge")
+	layers := Fig3Layers(g)
+	tiles, err := Fig3Tiles(g, cfg, soma.FastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Fig. 3 claim: per-tile points are more spread out.
+	if Spread(tiles) <= Spread(layers) {
+		t.Fatalf("tiles spread %g <= layers spread %g", Spread(tiles), Spread(layers))
+	}
+	// And many tiles hug the axes (no-DRAM tiles and weight-load tiles).
+	axisTiles := 0
+	for _, p := range tiles {
+		if p.NormOps < 0.05 || p.NormDRAM < 0.05 {
+			axisTiles++
+		}
+	}
+	if float64(axisTiles) < 0.3*float64(len(tiles)) {
+		t.Fatalf("only %d/%d tiles near the axes", axisTiles, len(tiles))
+	}
+}
+
+func TestSpreadEdgeCases(t *testing.T) {
+	if Spread(nil) != 0 {
+		t.Fatal("empty spread must be 0")
+	}
+	pts := []ScatterPoint{{NormOps: 1, NormDRAM: 0}, {NormOps: 0, NormDRAM: 1}}
+	if Spread(pts) != 1 {
+		t.Fatalf("spread = %g", Spread(pts))
+	}
+}
+
+func TestParallelMapPreservesOrder(t *testing.T) {
+	cases := []Case{
+		{Platform: "edge", Workload: "a", Batch: 1},
+		{Platform: "edge", Workload: "b", Batch: 2},
+		{Platform: "edge", Workload: "c", Batch: 3},
+	}
+	out := ParallelMap(cases, 2, func(c Case) PairResult {
+		return PairResult{Case: c}
+	})
+	for i := range cases {
+		if out[i].Case != cases[i] {
+			t.Fatalf("order not preserved: %v", out)
+		}
+	}
+}
+
+func TestSortCases(t *testing.T) {
+	cs := []Case{
+		{Platform: "edge", Workload: "z", Batch: 1},
+		{Platform: "cloud", Workload: "a", Batch: 1},
+	}
+	SortCases(cs)
+	if cs[0].Platform != "cloud" {
+		t.Fatalf("not sorted: %v", cs)
+	}
+}

@@ -1,0 +1,104 @@
+package exp
+
+import "math"
+
+// InsightStats quantifies the two Fig. 7 insights on a DSE grid:
+//
+//   - Insight 1: at small batch sizes DRAM bandwidth dominates buffer size -
+//     BandwidthGain (mean speedup from doubling bandwidth) far exceeds
+//     BufferGain (mean speedup from doubling buffer).
+//   - Insight 2: provisioning both maximum bandwidth and maximum buffer is
+//     wasteful - the iso-latency "red envelope" (cells within 5% of the
+//     global best) contains strictly cheaper corner points.
+type InsightStats struct {
+	// BandwidthGain / BufferGain are geometric-mean latency ratios across
+	// adjacent grid steps (>= 1 means the step helps).
+	BandwidthGain float64
+	BufferGain    float64
+	// BestMS is the global best latency; EnvelopeCells counts cells
+	// within 5% of it.
+	BestMS        float64
+	EnvelopeCells int
+	// CheaperInEnvelope reports whether the envelope contains a cell with
+	// strictly less bandwidth or less buffer than the max/max corner.
+	CheaperInEnvelope bool
+}
+
+// AnalyzeDSE computes the insight statistics for one scheme's latencies.
+// scheme selects "cocco" or "soma".
+func AnalyzeDSE(pts []DSEPoint, scheme string) InsightStats {
+	lat := func(p DSEPoint) float64 {
+		if scheme == "cocco" {
+			if p.CoccoErr != "" {
+				return math.Inf(1)
+			}
+			return p.CoccoMS
+		}
+		if p.SoMaErr != "" {
+			return math.Inf(1)
+		}
+		return p.SoMaMS
+	}
+	at := func(bw float64, buf int64) (float64, bool) {
+		for _, p := range pts {
+			if p.DRAMGBs == bw && p.BufferMB == buf {
+				return lat(p), true
+			}
+		}
+		return 0, false
+	}
+
+	var st InsightStats
+	st.BestMS = math.Inf(1)
+	for _, p := range pts {
+		if l := lat(p); l > 0 && l < st.BestMS {
+			st.BestMS = l
+		}
+	}
+
+	// Mean gain from doubling bandwidth (vertical grid steps) and buffer
+	// (horizontal steps), in log space.
+	var bwAcc, bufAcc float64
+	var bwN, bufN int
+	for i := 0; i+1 < len(Fig7Bandwidths); i++ {
+		for _, buf := range Fig7Buffers {
+			a, okA := at(Fig7Bandwidths[i], buf>>20)
+			b, okB := at(Fig7Bandwidths[i+1], buf>>20)
+			if okA && okB && a > 0 && b > 0 && !math.IsInf(a, 1) && !math.IsInf(b, 1) {
+				bwAcc += math.Log(a / b)
+				bwN++
+			}
+		}
+	}
+	for _, bw := range Fig7Bandwidths {
+		for j := 0; j+1 < len(Fig7Buffers); j++ {
+			a, okA := at(bw, Fig7Buffers[j]>>20)
+			b, okB := at(bw, Fig7Buffers[j+1]>>20)
+			if okA && okB && a > 0 && b > 0 && !math.IsInf(a, 1) && !math.IsInf(b, 1) {
+				bufAcc += math.Log(a / b)
+				bufN++
+			}
+		}
+	}
+	if bwN > 0 {
+		st.BandwidthGain = math.Exp(bwAcc / float64(bwN))
+	}
+	if bufN > 0 {
+		st.BufferGain = math.Exp(bufAcc / float64(bufN))
+	}
+
+	// Envelope membership and the wasteful-corner check.
+	maxBW := Fig7Bandwidths[len(Fig7Bandwidths)-1]
+	maxBuf := Fig7Buffers[len(Fig7Buffers)-1] >> 20
+	for _, p := range pts {
+		l := lat(p)
+		if math.IsInf(l, 1) || l > st.BestMS*1.05 {
+			continue
+		}
+		st.EnvelopeCells++
+		if p.DRAMGBs < maxBW || p.BufferMB < maxBuf {
+			st.CheaperInEnvelope = true
+		}
+	}
+	return st
+}

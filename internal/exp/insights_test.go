@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+// synthGrid builds a DSE grid from a latency function.
+func synthGrid(f func(bw float64, bufMB int64) float64) []DSEPoint {
+	var pts []DSEPoint
+	for _, bw := range Fig7Bandwidths {
+		for _, buf := range Fig7Buffers {
+			pts = append(pts, DSEPoint{
+				DRAMGBs: bw, BufferMB: buf >> 20,
+				SoMaMS: f(bw, buf>>20), CoccoMS: 2 * f(bw, buf>>20),
+			})
+		}
+	}
+	return pts
+}
+
+func TestAnalyzeDSEBandwidthDominated(t *testing.T) {
+	// Latency ~ 1/bw, insensitive to buffer: the batch-1 regime.
+	pts := synthGrid(func(bw float64, buf int64) float64 { return 1000 / bw })
+	st := AnalyzeDSE(pts, "soma")
+	if st.BandwidthGain < 1.9 || st.BandwidthGain > 2.1 {
+		t.Fatalf("bandwidth gain = %g, want ~2", st.BandwidthGain)
+	}
+	if st.BufferGain > 1.01 {
+		t.Fatalf("buffer gain = %g, want ~1", st.BufferGain)
+	}
+	if st.BestMS != 1000.0/128.0 {
+		t.Fatalf("best = %g", st.BestMS)
+	}
+}
+
+func TestAnalyzeDSEBufferCompensates(t *testing.T) {
+	// Latency ~ max(compute, traffic/bw) where traffic shrinks with
+	// buffer: SoMa's large-batch regime with a flat envelope.
+	pts := synthGrid(func(bw float64, buf int64) float64 {
+		compute := 10.0
+		traffic := 4096.0 / float64(buf)
+		return math.Max(compute, traffic/bw)
+	})
+	st := AnalyzeDSE(pts, "soma")
+	if st.EnvelopeCells < 5 {
+		t.Fatalf("flat envelope expected, got %d cells", st.EnvelopeCells)
+	}
+	if !st.CheaperInEnvelope {
+		t.Fatal("envelope must contain cheaper-than-max/max configurations")
+	}
+}
+
+func TestAnalyzeDSESchemeSelection(t *testing.T) {
+	pts := synthGrid(func(bw float64, buf int64) float64 { return 100 })
+	soma := AnalyzeDSE(pts, "soma")
+	cocco := AnalyzeDSE(pts, "cocco")
+	if soma.BestMS != 100 || cocco.BestMS != 200 {
+		t.Fatalf("scheme selection wrong: %g %g", soma.BestMS, cocco.BestMS)
+	}
+}
+
+func TestAnalyzeDSESkipsErrors(t *testing.T) {
+	pts := synthGrid(func(bw float64, buf int64) float64 { return 100 / bw })
+	for i := range pts {
+		if pts[i].BufferMB == 2 {
+			pts[i].SoMaErr = "infeasible"
+		}
+	}
+	st := AnalyzeDSE(pts, "soma")
+	if math.IsInf(st.BestMS, 1) || st.BestMS <= 0 {
+		t.Fatalf("best = %g", st.BestMS)
+	}
+	if st.BandwidthGain < 1.5 {
+		t.Fatalf("bandwidth gain = %g", st.BandwidthGain)
+	}
+}

@@ -1,0 +1,6 @@
+package exp
+
+import "math"
+
+func ln(v float64) float64  { return math.Log(v) }
+func exp(v float64) float64 { return math.Exp(v) }

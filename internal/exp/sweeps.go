@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"soma/internal/models"
+	"soma/internal/soma"
+)
+
+// ObjectivePoint is one row of the Energy^n x Delay^m sweep: the framework's
+// optimization goal is tunable (Sec. V-A), trading energy against latency.
+type ObjectivePoint struct {
+	N, M      float64
+	LatencyMS float64
+	EnergyMJ  float64
+	Err       error
+}
+
+// ObjectiveSweep schedules one case under several (n, m) objective exponents
+// and reports how the chosen schedule shifts along the energy/latency
+// frontier.
+func ObjectiveSweep(c Case, par soma.Params, objectives []soma.Objective) []ObjectivePoint {
+	out := make([]ObjectivePoint, len(objectives))
+	cfg, err := Platform(c.Platform)
+	if err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	g, err := models.Build(c.Workload, c.Batch)
+	if err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	res := ParallelMap(objectives, 0, func(obj soma.Objective) PairResult {
+		r, err := soma.New(g, cfg, obj, par).Run()
+		if err != nil {
+			return PairResult{Err: err}
+		}
+		return PairResult{Ours2: Row{
+			LatencyNS: r.Stage2.Metrics.LatencyNS,
+			EnergyPJ:  r.Stage2.Metrics.EnergyPJ,
+		}}
+	})
+	for i, r := range res {
+		out[i] = ObjectivePoint{N: objectives[i].N, M: objectives[i].M, Err: r.Err}
+		if r.Err == nil {
+			out[i].LatencyMS = r.Ours2.LatencyNS / 1e6
+			out[i].EnergyMJ = r.Ours2.EnergyPJ / 1e9
+		}
+	}
+	return out
+}
+
+// FrontierConsistent checks the expected monotonicity of an objective sweep:
+// increasing the delay exponent must not produce a slower schedule than the
+// energy-weighted objectives, within tolerance (search noise).
+func FrontierConsistent(pts []ObjectivePoint, tol float64) bool {
+	var latOnly, enOnly *ObjectivePoint
+	for i := range pts {
+		if pts[i].Err != nil {
+			continue
+		}
+		if pts[i].N == 0 && pts[i].M > 0 {
+			latOnly = &pts[i]
+		}
+		if pts[i].N > 0 && pts[i].M == 0 {
+			enOnly = &pts[i]
+		}
+	}
+	if latOnly == nil || enOnly == nil {
+		return true
+	}
+	return latOnly.LatencyMS <= enOnly.LatencyMS*(1+tol) &&
+		enOnly.EnergyMJ <= latOnly.EnergyMJ*(1+tol)
+}
+
+// SeedStats summarizes a seed-stability run.
+type SeedStats struct {
+	Seeds            int
+	MinMS, MedMS     float64
+	MaxMS            float64
+	SpreadPct        float64 // (max-min)/min
+	AllWithinPercent float64 // == SpreadPct * 100
+}
+
+// SeedSweep runs SoMa on one case with k different seeds and reports the
+// latency spread - the reproducibility check the artifact's fixed-seed
+// protocol relies on.
+func SeedSweep(c Case, par soma.Params, seeds []int64) (SeedStats, error) {
+	cfg, err := Platform(c.Platform)
+	if err != nil {
+		return SeedStats{}, err
+	}
+	g, err := models.Build(c.Workload, c.Batch)
+	if err != nil {
+		return SeedStats{}, err
+	}
+	res := ParallelMap(seeds, 0, func(seed int64) PairResult {
+		p := par
+		p.Seed = seed
+		r, err := soma.New(g, cfg, soma.EDP(), p).Run()
+		if err != nil {
+			return PairResult{Err: err}
+		}
+		return PairResult{Ours2: Row{LatencyNS: r.Stage2.Metrics.LatencyNS}}
+	})
+	var ms []float64
+	for _, r := range res {
+		if r.Err != nil {
+			return SeedStats{}, r.Err
+		}
+		ms = append(ms, r.Ours2.LatencyNS/1e6)
+	}
+	sort.Float64s(ms)
+	st := SeedStats{
+		Seeds: len(ms),
+		MinMS: ms[0], MaxMS: ms[len(ms)-1], MedMS: ms[len(ms)/2],
+	}
+	if st.MinMS > 0 {
+		st.SpreadPct = (st.MaxMS - st.MinMS) / st.MinMS
+		st.AllWithinPercent = st.SpreadPct * 100
+	}
+	return st, nil
+}
+
+// String renders seed stats for reports.
+func (s SeedStats) String() string {
+	return fmt.Sprintf("%d seeds: min %.3f / med %.3f / max %.3f ms (spread %.1f%%)",
+		s.Seeds, s.MinMS, s.MedMS, s.MaxMS, s.AllWithinPercent)
+}

@@ -1,0 +1,186 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"soma/internal/core"
+	"soma/internal/graph"
+	"soma/internal/hw"
+)
+
+func sh(n, c, h, w int) graph.Shape { return graph.Shape{N: n, C: c, H: h, W: w} }
+
+func kr(kh, kw, s, sw, ph, pw int) graph.Kernel {
+	return graph.Kernel{KH: kh, KW: kw, SH: s, SW: sw, PH: ph, PW: pw}
+}
+
+func testSchedule(t *testing.T) *core.Schedule {
+	g := graph.New("isa", 1)
+	in := g.Add(graph.Layer{Name: "in", Kind: graph.Input, Out: sh(1, 8, 16, 16)})
+	a := g.Add(graph.Layer{Name: "a", Kind: graph.Conv, Deps: []graph.Dep{{Producer: in}},
+		Out: sh(1, 8, 16, 16), K: kr(3, 3, 1, 1, 1, 1), WeightBytes: 8 * 8 * 9, Ops: 2 * 8 * 8 * 9 * 16 * 16})
+	b := g.Add(graph.Layer{Name: "b", Kind: graph.Conv, Deps: []graph.Dep{{Producer: a}},
+		Out: sh(1, 8, 16, 16), K: kr(3, 3, 1, 1, 1, 1), WeightBytes: 8 * 8 * 9, Ops: 2 * 8 * 8 * 9 * 16 * 16})
+	g.Add(graph.Layer{Name: "c", Kind: graph.Conv, Deps: []graph.Dep{{Producer: b}},
+		Out: sh(1, 8, 16, 16), K: kr(3, 3, 1, 1, 1, 1), WeightBytes: 8 * 8 * 9, Ops: 2 * 8 * 8 * 9 * 16 * 16})
+	enc := core.DefaultEncoding(g, 2)
+	s, err := core.Parse(g, enc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestGenerateProducesValidProgram(t *testing.T) {
+	s := testSchedule(t)
+	cap := hw.Edge().GBufBytes
+	p, err := Generate(s, cap)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := p.Validate(cap); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	counts := p.Counts()
+	if counts[Compute] != s.NumTiles() {
+		t.Fatalf("compute instrs = %d, want %d", counts[Compute], s.NumTiles())
+	}
+	if counts[Load]+counts[Store] != len(s.Tensors) {
+		t.Fatalf("DMA instrs = %d, want %d", counts[Load]+counts[Store], len(s.Tensors))
+	}
+	if p.GBufHighWater <= 0 || p.GBufHighWater > cap {
+		t.Fatalf("high water = %d", p.GBufHighWater)
+	}
+	if p.DRAMSize <= 0 || len(p.Objects) == 0 {
+		t.Fatal("DRAM image empty")
+	}
+}
+
+func TestGBufAllocationsDoNotOverlap(t *testing.T) {
+	s := testSchedule(t)
+	p, err := Generate(s, hw.Edge().GBufBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct lifetimes from the schedule and check pairwise overlap
+	// of concurrently-live DMA targets.
+	type alloc struct {
+		lo, hi     int
+		off, bytes int64
+	}
+	var allocs []alloc
+	for _, in := range p.Instrs {
+		if in.Op == Compute {
+			continue
+		}
+		ts := &s.Tensors[in.TensorID]
+		lo, hi := ts.Start, ts.Release
+		if ts.Kind == core.StoreOfmap {
+			lo, hi = ts.Producer, ts.End
+			if ts.OnChipHi > hi {
+				hi = ts.OnChipHi
+			}
+		}
+		allocs = append(allocs, alloc{lo, hi, in.GBufAddr, in.Bytes})
+	}
+	for i := range allocs {
+		for j := i + 1; j < len(allocs); j++ {
+			a, b := allocs[i], allocs[j]
+			timeOverlap := a.lo < b.hi && b.lo < a.hi
+			memOverlap := a.off < b.off+b.bytes && b.off < a.off+a.bytes
+			if timeOverlap && memOverlap {
+				t.Fatalf("allocations %d and %d overlap in time and space: %+v %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestDependenciesMatchSemantics(t *testing.T) {
+	s := testSchedule(t)
+	p, err := Generate(s, hw.Edge().GBufBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map tensor/tile to instruction.
+	tensorInstr := map[int]int{}
+	tileInstr := map[int]int{}
+	for _, in := range p.Instrs {
+		if in.Op == Compute {
+			tileInstr[in.TileSeq] = in.ID
+		} else {
+			tensorInstr[in.TensorID] = in.ID
+		}
+	}
+	// Every tile's gating loads appear among its dependencies.
+	for _, in := range p.Instrs {
+		if in.Op != Compute {
+			continue
+		}
+		deps := map[int]bool{}
+		for _, d := range in.DependsOn {
+			deps[d] = true
+		}
+		for _, ts := range s.Tensors {
+			if ts.Kind.IsLoad() && ts.FirstUse == in.TileSeq {
+				if !deps[tensorInstr[ts.ID]] {
+					t.Fatalf("tile %d missing dep on load %d", in.TileSeq, ts.ID)
+				}
+			}
+		}
+		if in.TileSeq > 0 && !deps[tileInstr[in.TileSeq-1]] {
+			t.Fatalf("tile %d missing serial dep", in.TileSeq)
+		}
+	}
+	// Every store depends on its producing tile.
+	for _, in := range p.Instrs {
+		if in.Op != Store {
+			continue
+		}
+		ts := &s.Tensors[in.TensorID]
+		found := false
+		for _, d := range in.DependsOn {
+			if d == tileInstr[ts.Producer] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("store %d missing dep on tile %d", in.ID, ts.Producer)
+		}
+	}
+}
+
+func TestGenerateFailsOnTinyGBuf(t *testing.T) {
+	s := testSchedule(t)
+	if _, err := Generate(s, 64); err == nil {
+		t.Fatal("64-byte GBUF must overflow")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	s := testSchedule(t)
+	p, err := Generate(s, hw.Edge().GBufBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"soma-ir v1", "LOAD", "STORE", "COMPUTE", ".object", "weights:a"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("IR missing %q:\n%s", want, out[:min(len(out), 600)])
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Load.String() != "LOAD" || Store.String() != "STORE" || Compute.String() != "COMPUTE" {
+		t.Fatal("op names wrong")
+	}
+	if !strings.Contains(Op(9).String(), "?") {
+		t.Fatal("unknown op must be marked")
+	}
+}

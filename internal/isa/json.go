@@ -1,0 +1,78 @@
+package isa
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonProgram is the stable on-disk IR shape (the "easily parsable
+// intermediate representation" of Sec. V-A that downstream instruction
+// generators consume).
+type jsonProgram struct {
+	Version       int          `json:"version"`
+	GBufHighWater int64        `json:"gbuf_high_water"`
+	DRAMSize      int64        `json:"dram_size"`
+	Objects       []DRAMObject `json:"objects"`
+	Instrs        []jsonInstr  `json:"instructions"`
+}
+
+type jsonInstr struct {
+	ID        int    `json:"id"`
+	Op        string `json:"op"`
+	Label     string `json:"label"`
+	Bytes     int64  `json:"bytes,omitempty"`
+	GBufAddr  int64  `json:"gbuf_addr,omitempty"`
+	DRAMAddr  int64  `json:"dram_addr,omitempty"`
+	TileSeq   int    `json:"tile_seq"`
+	TensorID  int    `json:"tensor_id"`
+	DependsOn []int  `json:"depends_on,omitempty"`
+}
+
+// WriteJSON emits the program as the versioned JSON IR.
+func (p *Program) WriteJSON(w io.Writer) error {
+	jp := jsonProgram{
+		Version:       1,
+		GBufHighWater: p.GBufHighWater,
+		DRAMSize:      p.DRAMSize,
+		Objects:       p.Objects,
+	}
+	for _, in := range p.Instrs {
+		jp.Instrs = append(jp.Instrs, jsonInstr{
+			ID: in.ID, Op: in.Op.String(), Label: in.Label,
+			Bytes: in.Bytes, GBufAddr: in.GBufAddr, DRAMAddr: in.DRAMAddr,
+			TileSeq: in.TileSeq, TensorID: in.TensorID, DependsOn: in.DependsOn,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jp)
+}
+
+// ReadJSON parses a JSON IR back into a Program (round-trip support for
+// external schedulers that emit the IR format, Sec. V-F).
+func ReadJSON(r io.Reader) (*Program, error) {
+	var jp jsonProgram
+	if err := json.NewDecoder(r).Decode(&jp); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		GBufHighWater: jp.GBufHighWater,
+		DRAMSize:      jp.DRAMSize,
+		Objects:       jp.Objects,
+	}
+	for _, in := range jp.Instrs {
+		op := Compute
+		switch in.Op {
+		case "LOAD":
+			op = Load
+		case "STORE":
+			op = Store
+		}
+		p.Instrs = append(p.Instrs, Instr{
+			ID: in.ID, Op: op, Label: in.Label,
+			Bytes: in.Bytes, GBufAddr: in.GBufAddr, DRAMAddr: in.DRAMAddr,
+			TileSeq: in.TileSeq, TensorID: in.TensorID, DependsOn: in.DependsOn,
+		})
+	}
+	return p, nil
+}

@@ -1,0 +1,50 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"soma/internal/hw"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := testSchedule(t)
+	p, err := Generate(s, hw.Edge().GBufBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version": 1`) {
+		t.Fatalf("missing version: %s", buf.String()[:200])
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Instrs) != len(p.Instrs) {
+		t.Fatalf("instr count: %d vs %d", len(back.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		a, b := p.Instrs[i], back.Instrs[i]
+		if a.Op != b.Op || a.Bytes != b.Bytes || a.GBufAddr != b.GBufAddr ||
+			a.Label != b.Label || a.TileSeq != b.TileSeq {
+			t.Fatalf("instr %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if back.GBufHighWater != p.GBufHighWater || back.DRAMSize != p.DRAMSize {
+		t.Fatal("header mismatch")
+	}
+	if err := back.Validate(hw.Edge().GBufBytes); err != nil {
+		t.Fatalf("round-tripped program invalid: %v", err)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

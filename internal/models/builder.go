@@ -1,0 +1,236 @@
+// Package models is the workload zoo of the paper's evaluation (Sec. VI-A):
+// ResNet-50, ResNet-101, Inception-ResNet-v1, RandWire, GPT-2 (Small and XL,
+// prefill and decode) and Transformer-Large. All graphs are constructed
+// programmatically with exact per-layer shapes, weight footprints and op
+// counts; there is no external model-file dependency.
+package models
+
+import (
+	"fmt"
+
+	"soma/internal/graph"
+)
+
+// builder wraps a graph with layer constructors that fill in the op and byte
+// accounting. All models in this package are built through it.
+type builder struct {
+	g *graph.Graph
+}
+
+func newBuilder(name string, elemBytes int) *builder {
+	return &builder{g: graph.New(name, elemBytes)}
+}
+
+// input adds the network input pseudo-layer.
+func (b *builder) input(name string, s graph.Shape) graph.LayerID {
+	return b.g.Add(graph.Layer{Name: name, Kind: graph.Input, Out: s})
+}
+
+// conv adds a 2-D convolution with activation folded in. Output spatial size
+// follows the usual floor formula.
+func (b *builder) conv(name string, in graph.LayerID, outC, kh, kw, sh, sw, ph, pw int) graph.LayerID {
+	is := b.g.Layer(in).Out
+	oh := (is.H+2*ph-kh)/sh + 1
+	ow := (is.W+2*pw-kw)/sw + 1
+	out := graph.Shape{N: is.N, C: outC, H: oh, W: ow}
+	macs := int64(2) * out.Elems() * int64(is.C) * int64(kh) * int64(kw)
+	return b.g.Add(graph.Layer{
+		Name: name, Kind: graph.Conv,
+		Deps:        []graph.Dep{{Producer: in}},
+		Out:         out,
+		K:           graph.Kernel{KH: kh, KW: kw, SH: sh, SW: sw, PH: ph, PW: pw},
+		WeightBytes: int64(is.C) * int64(outC) * int64(kh) * int64(kw) * int64(b.g.ElemBytes),
+		Ops:         macs,
+	})
+}
+
+// conv3 is the common 3x3 stride-1 same-padding convolution.
+func (b *builder) conv3(name string, in graph.LayerID, outC int) graph.LayerID {
+	return b.conv(name, in, outC, 3, 3, 1, 1, 1, 1)
+}
+
+// conv1 is the common 1x1 convolution.
+func (b *builder) conv1(name string, in graph.LayerID, outC int) graph.LayerID {
+	return b.conv(name, in, outC, 1, 1, 1, 1, 0, 0)
+}
+
+// dwconv adds a depthwise 3x3 convolution (RandWire separable nodes).
+func (b *builder) dwconv(name string, in graph.LayerID, kh, kw, sh, sw, ph, pw int) graph.LayerID {
+	is := b.g.Layer(in).Out
+	oh := (is.H+2*ph-kh)/sh + 1
+	ow := (is.W+2*pw-kw)/sw + 1
+	out := graph.Shape{N: is.N, C: is.C, H: oh, W: ow}
+	macs := int64(2) * out.Elems() * int64(kh) * int64(kw)
+	return b.g.Add(graph.Layer{
+		Name: name, Kind: graph.DWConv,
+		Deps:        []graph.Dep{{Producer: in}},
+		Out:         out,
+		K:           graph.Kernel{KH: kh, KW: kw, SH: sh, SW: sw, PH: ph, PW: pw},
+		WeightBytes: int64(is.C) * int64(kh) * int64(kw) * int64(b.g.ElemBytes),
+		Ops:         macs,
+	})
+}
+
+// pool adds max/avg pooling.
+func (b *builder) pool(name string, in graph.LayerID, kh, kw, sh, sw, ph, pw int) graph.LayerID {
+	is := b.g.Layer(in).Out
+	oh := (is.H+2*ph-kh)/sh + 1
+	ow := (is.W+2*pw-kw)/sw + 1
+	out := graph.Shape{N: is.N, C: is.C, H: oh, W: ow}
+	return b.g.Add(graph.Layer{
+		Name: name, Kind: graph.Pool,
+		Deps: []graph.Dep{{Producer: in}},
+		Out:  out,
+		K:    graph.Kernel{KH: kh, KW: kw, SH: sh, SW: sw, PH: ph, PW: pw},
+		Ops:  out.Elems() * int64(kh) * int64(kw),
+	})
+}
+
+// gpool reduces the whole spatial extent to 1x1. The consumer sees a global
+// dependency because every output element needs the full input plane.
+func (b *builder) gpool(name string, in graph.LayerID) graph.LayerID {
+	is := b.g.Layer(in).Out
+	out := graph.Shape{N: is.N, C: is.C, H: 1, W: 1}
+	return b.g.Add(graph.Layer{
+		Name: name, Kind: graph.GlobalPool,
+		Deps: []graph.Dep{{Producer: in, Global: true}},
+		Out:  out,
+		Ops:  is.Elems(),
+	})
+}
+
+// fc adds a fully connected layer on an N x C x 1 x 1 activation.
+func (b *builder) fc(name string, in graph.LayerID, outC int) graph.LayerID {
+	is := b.g.Layer(in).Out
+	inFeat := int64(is.C) * int64(is.H) * int64(is.W)
+	out := graph.Shape{N: is.N, C: outC, H: 1, W: 1}
+	return b.g.Add(graph.Layer{
+		Name: name, Kind: graph.GEMM,
+		Deps:        []graph.Dep{{Producer: in}},
+		Out:         out,
+		WeightBytes: inFeat * int64(outC) * int64(b.g.ElemBytes),
+		Ops:         2 * out.Elems() * inFeat,
+	})
+}
+
+// add joins two equal-shaped activations element-wise (residual connection).
+func (b *builder) add(name string, a, c graph.LayerID) graph.LayerID {
+	as := b.g.Layer(a).Out
+	return b.g.Add(graph.Layer{
+		Name: name, Kind: graph.Eltwise,
+		Deps: []graph.Dep{{Producer: a}, {Producer: c}},
+		Out:  as,
+		Ops:  as.Elems(),
+	})
+}
+
+// concat joins branches along the channel axis.
+func (b *builder) concat(name string, ins ...graph.LayerID) graph.LayerID {
+	first := b.g.Layer(ins[0]).Out
+	c := 0
+	deps := make([]graph.Dep, 0, len(ins))
+	for _, id := range ins {
+		s := b.g.Layer(id).Out
+		if s.N != first.N || s.H != first.H || s.W != first.W {
+			panic(fmt.Sprintf("models: concat %s: shape mismatch %v vs %v", name, first, s))
+		}
+		c += s.C
+		deps = append(deps, graph.Dep{Producer: id})
+	}
+	out := graph.Shape{N: first.N, C: c, H: first.H, W: first.W}
+	return b.g.Add(graph.Layer{
+		Name: name, Kind: graph.Concat,
+		Deps: deps,
+		Out:  out,
+		Ops:  out.Elems(), // modelled as a vector copy
+	})
+}
+
+// ---- transformer building blocks ------------------------------------------
+
+// gemmSeq adds a token-wise projection (B x T tokens, inC -> outC features).
+// Token axis lives on H, so fused tiling along H splits the sequence.
+func (b *builder) gemmSeq(name string, in graph.LayerID, outC int) graph.LayerID {
+	is := b.g.Layer(in).Out
+	out := graph.Shape{N: is.N, C: outC, H: is.H, W: 1}
+	return b.g.Add(graph.Layer{
+		Name: name, Kind: graph.GEMM,
+		Deps:        []graph.Dep{{Producer: in}},
+		Out:         out,
+		WeightBytes: int64(is.C) * int64(outC) * int64(b.g.ElemBytes),
+		Ops:         2 * out.Elems() * int64(is.C),
+	})
+}
+
+// layerNorm adds a row-local normalization.
+func (b *builder) layerNorm(name string, in graph.LayerID) graph.LayerID {
+	is := b.g.Layer(in).Out
+	return b.g.Add(graph.Layer{
+		Name: name, Kind: graph.LayerNorm,
+		Deps: []graph.Dep{{Producer: in}},
+		Out:  is,
+		Ops:  4 * is.Elems(),
+	})
+}
+
+// softmaxRows adds a row-local softmax over the feature axis.
+func (b *builder) softmaxRows(name string, in graph.LayerID) graph.LayerID {
+	is := b.g.Layer(in).Out
+	return b.g.Add(graph.Layer{
+		Name: name, Kind: graph.Softmax,
+		Deps: []graph.Dep{{Producer: in}},
+		Out:  is,
+		Ops:  4 * is.Elems(),
+	})
+}
+
+// attnScores adds the Q*K^T matmul. The query operand is row-local (each
+// score row needs one query row); the key operand is global (every row needs
+// all keys), which is what forces attention to break fine-grained fusion
+// unless the producer sits in an earlier FLG. keyLen is the attended context
+// length; kvCacheBytes > 0 models decode-phase cache reads as weight-like
+// DRAM traffic.
+func (b *builder) attnScores(name string, q, k graph.LayerID, heads, keyLen int, kvCacheBytes int64) graph.LayerID {
+	qs := b.g.Layer(q).Out
+	dModel := qs.C
+	out := graph.Shape{N: qs.N, C: heads * keyLen, H: qs.H, W: 1}
+	return b.g.Add(graph.Layer{
+		Name: name, Kind: graph.MatMul,
+		Deps:             []graph.Dep{{Producer: q}, {Producer: k, Global: true}},
+		Out:              out,
+		WeightBytes:      kvCacheBytes,
+		WeightsPerSample: kvCacheBytes > 0,
+		Ops:              2 * int64(qs.N) * int64(qs.H) * int64(keyLen) * int64(dModel),
+	})
+}
+
+// attnContext adds the scores*V matmul (row-local on scores, global on V).
+func (b *builder) attnContext(name string, scores, v graph.LayerID, dModel, keyLen int, kvCacheBytes int64) graph.LayerID {
+	ss := b.g.Layer(scores).Out
+	out := graph.Shape{N: ss.N, C: dModel, H: ss.H, W: 1}
+	return b.g.Add(graph.Layer{
+		Name: name, Kind: graph.MatMul,
+		Deps:             []graph.Dep{{Producer: scores}, {Producer: v, Global: true}},
+		Out:              out,
+		WeightBytes:      kvCacheBytes,
+		WeightsPerSample: kvCacheBytes > 0,
+		Ops:              2 * int64(ss.N) * int64(ss.H) * int64(keyLen) * int64(dModel),
+	})
+}
+
+// gemmChunked splits a very wide projection (the LM head) into column chunks
+// joined by a concat, so no single weight tensor exceeds on-chip capacity -
+// the standard compiler lowering for vocabulary projections.
+func (b *builder) gemmChunked(name string, in graph.LayerID, outC, chunks int) graph.LayerID {
+	if chunks <= 1 {
+		return b.gemmSeq(name, in, outC)
+	}
+	parts := make([]graph.LayerID, 0, chunks)
+	done := 0
+	for i := 0; i < chunks; i++ {
+		width := (outC - done) / (chunks - i)
+		parts = append(parts, b.gemmSeq(fmt.Sprintf("%s_c%d", name, i), in, width))
+		done += width
+	}
+	return b.concat(name+"_cat", parts...)
+}

@@ -1,0 +1,95 @@
+package models
+
+import (
+	"testing"
+
+	"soma/internal/graph"
+)
+
+func TestVGG16Accounting(t *testing.T) {
+	g := VGG16(1)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// VGG-16: ~15.5 GMACs = ~31 GOPs; ~138 M parameters.
+	gops := float64(g.TotalOps()) / 1e9
+	if gops < 28 || gops > 34 {
+		t.Fatalf("VGG-16 ops = %.1f GOPs, want ~31", gops)
+	}
+	mb := float64(g.TotalWeightBytes()) / (1 << 20)
+	if mb < 125 || mb > 140 {
+		t.Fatalf("VGG-16 weights = %.1f MB, want ~132", mb)
+	}
+	if n := g.Stats()["conv"]; n != 13 {
+		t.Fatalf("convs = %d, want 13", n)
+	}
+	// Every chunk of the split classifier must fit comfortably on-chip.
+	for _, id := range g.ComputeLayers() {
+		if w := g.Layer(id).WeightBytes; w > 4<<20 {
+			t.Fatalf("layer %s holds %.1f MB weights (chunking failed)",
+				g.Layer(id).Name, float64(w)/(1<<20))
+		}
+	}
+}
+
+func TestMobileNetV2Accounting(t *testing.T) {
+	g := MobileNetV2(1)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// ~0.3 GMACs = ~0.6 GOPs; ~3.4 M parameters.
+	gops := float64(g.TotalOps()) / 1e9
+	if gops < 0.5 || gops > 0.9 {
+		t.Fatalf("MobileNetV2 ops = %.2f GOPs, want ~0.6", gops)
+	}
+	mb := float64(g.TotalWeightBytes()) / (1 << 20)
+	if mb < 2.5 || mb > 4.5 {
+		t.Fatalf("MobileNetV2 weights = %.1f MB, want ~3.3", mb)
+	}
+	if n := g.Stats()["dwconv"]; n != 17 {
+		t.Fatalf("depthwise convs = %d, want 17", n)
+	}
+	// Inverted residual adds exist where stride 1 and channels match.
+	if g.Stats()["eltwise"] < 8 {
+		t.Fatalf("residual adds = %d, want >= 8", g.Stats()["eltwise"])
+	}
+}
+
+func TestMobileNetV2IsFmapDominated(t *testing.T) {
+	// MobileNet's fusion value comes from fmaps dwarfing weights.
+	g := MobileNetV2(1)
+	var maxFmap int64
+	for _, id := range g.ComputeLayers() {
+		if b := g.Layer(id).Out.Bytes(g.ElemBytes); b > maxFmap {
+			maxFmap = b
+		}
+	}
+	if maxFmap < g.TotalWeightBytes()/8 {
+		t.Fatalf("fmap %.2f MB unexpectedly small vs weights %.2f MB",
+			float64(maxFmap)/(1<<20), float64(g.TotalWeightBytes())/(1<<20))
+	}
+}
+
+func TestFCChunkedPreservesTotals(t *testing.T) {
+	b := newBuilder("fc", 1)
+	in := b.input("in", graph.Shape{N: 1, C: 512, H: 7, W: 7})
+	out := b.fcChunked("fc", in, 4096, 8)
+	s := b.g.Layer(out).Out
+	if s.C != 4096 {
+		t.Fatalf("chunked output C = %d", s.C)
+	}
+	var w int64
+	for _, id := range b.g.ComputeLayers() {
+		w += b.g.Layer(id).WeightBytes
+	}
+	want := int64(512*7*7) * 4096
+	if w != want {
+		t.Fatalf("chunked weights = %d, want %d", w, want)
+	}
+}
+
+func TestRegistryGrewTo11(t *testing.T) {
+	if len(Names()) != 11 {
+		t.Fatalf("registry = %v", Names())
+	}
+}

@@ -1,0 +1,103 @@
+package models
+
+import (
+	"fmt"
+
+	"soma/internal/graph"
+)
+
+// InceptionResNetV1 builds Inception-ResNet-v1 (Szegedy et al., AAAI'17) at
+// the given batch size. The paper uses it as the representative of wide,
+// multi-branch topologies. Block counts follow the original: 5x A, 10x B,
+// 5x C with the two reduction blocks in between.
+func InceptionResNetV1(batch int) *graph.Graph {
+	b := newBuilder(fmt.Sprintf("ires-b%d", batch), 1)
+	in := b.input("input", graph.Shape{N: batch, C: 3, H: 299, W: 299})
+
+	// Stem: 299x299x3 -> 35x35x256.
+	x := b.conv("stem_c1", in, 32, 3, 3, 2, 2, 0, 0) // 149x149x32
+	x = b.conv("stem_c2", x, 32, 3, 3, 1, 1, 0, 0)   // 147x147x32
+	x = b.conv3("stem_c3", x, 64)                    // 147x147x64
+	x = b.pool("stem_p1", x, 3, 3, 2, 2, 0, 0)       // 73x73x64
+	x = b.conv1("stem_c4", x, 80)                    // 73x73x80
+	x = b.conv("stem_c5", x, 192, 3, 3, 1, 1, 0, 0)  // 71x71x192
+	x = b.conv("stem_c6", x, 256, 3, 3, 2, 2, 0, 0)  // 35x35x256
+
+	for i := 0; i < 5; i++ {
+		x = inceptionA(b, fmt.Sprintf("a%d", i), x)
+	}
+	x = reductionA(b, x) // 17x17x896
+
+	for i := 0; i < 10; i++ {
+		x = inceptionB(b, fmt.Sprintf("b%d", i), x)
+	}
+	x = reductionB(b, x) // 8x8x1792
+
+	for i := 0; i < 5; i++ {
+		x = inceptionC(b, fmt.Sprintf("c%d", i), x)
+	}
+	x = b.gpool("gap", x)
+	b.fc("fc", x, 1000)
+	mustValidate(b.g)
+	return b.g
+}
+
+// inceptionA: three branches at 35x35x256 with a linear 1x1 merge + residual.
+func inceptionA(b *builder, p string, in graph.LayerID) graph.LayerID {
+	b0 := b.conv1(p+"_b0", in, 32)
+	b1 := b.conv1(p+"_b1a", in, 32)
+	b1 = b.conv3(p+"_b1b", b1, 32)
+	b2 := b.conv1(p+"_b2a", in, 32)
+	b2 = b.conv3(p+"_b2b", b2, 32)
+	b2 = b.conv3(p+"_b2c", b2, 32)
+	cat := b.concat(p+"_cat", b0, b1, b2)
+	up := b.conv1(p+"_up", cat, 256)
+	return b.add(p+"_add", up, in)
+}
+
+// reductionA: 35x35x256 -> 17x17x896.
+func reductionA(b *builder, in graph.LayerID) graph.LayerID {
+	p := "redA"
+	b0 := b.conv(p+"_b0", in, 384, 3, 3, 2, 2, 0, 0)
+	b1 := b.conv1(p+"_b1a", in, 192)
+	b1 = b.conv3(p+"_b1b", b1, 192)
+	b1 = b.conv(p+"_b1c", b1, 256, 3, 3, 2, 2, 0, 0)
+	b2 := b.pool(p+"_pool", in, 3, 3, 2, 2, 0, 0)
+	return b.concat(p+"_cat", b0, b1, b2)
+}
+
+// inceptionB: two branches at 17x17x896 with 1x7/7x1 factorized convs.
+func inceptionB(b *builder, p string, in graph.LayerID) graph.LayerID {
+	b0 := b.conv1(p+"_b0", in, 128)
+	b1 := b.conv1(p+"_b1a", in, 128)
+	b1 = b.conv(p+"_b1b", b1, 128, 1, 7, 1, 1, 0, 3)
+	b1 = b.conv(p+"_b1c", b1, 128, 7, 1, 1, 1, 3, 0)
+	cat := b.concat(p+"_cat", b0, b1)
+	up := b.conv1(p+"_up", cat, 896)
+	return b.add(p+"_add", up, in)
+}
+
+// reductionB: 17x17x896 -> 8x8x1792.
+func reductionB(b *builder, in graph.LayerID) graph.LayerID {
+	p := "redB"
+	b0 := b.conv1(p+"_b0a", in, 256)
+	b0 = b.conv(p+"_b0b", b0, 384, 3, 3, 2, 2, 0, 0)
+	b1 := b.conv1(p+"_b1a", in, 256)
+	b1 = b.conv(p+"_b1b", b1, 256, 3, 3, 2, 2, 0, 0)
+	b2 := b.conv1(p+"_b2a", in, 256)
+	b2 = b.conv3(p+"_b2b", b2, 256)
+	b2 = b.conv(p+"_b2c", b2, 256, 3, 3, 2, 2, 0, 0)
+	b3 := b.pool(p+"_pool", in, 3, 3, 2, 2, 0, 0)
+	return b.concat(p+"_cat", b0, b1, b2, b3)
+}
+
+// inceptionC: two branches at 8x8x1792 with 1x3/3x1 factorized convs.
+func inceptionC(b *builder, p string, in graph.LayerID) graph.LayerID {
+	b0 := b.conv1(p+"_b0", in, 192)
+	b1 := b.conv1(p+"_b1a", in, 192)
+	b1 = b.conv(p+"_b1b", b1, 192, 1, 3, 1, 1, 0, 1)
+	b1 = b.conv(p+"_b1c", b1, 192, 3, 1, 1, 1, 1, 0)
+	cat := b.concat(p+"_cat", b0, b1)
+	up := b.conv1(p+"_up", cat, 1792)
+	return b.add(p+"_add", up, in)
+}

@@ -1,0 +1,62 @@
+package models
+
+import (
+	"fmt"
+
+	"soma/internal/graph"
+)
+
+// MobileNetV2 builds MobileNetV2 (Sandler et al., CVPR'18): inverted
+// residual blocks of expand (1x1) -> depthwise 3x3 -> project (1x1). It
+// exercises the depthwise-convolution path of the core-array scheduler and
+// the very-low-compute-density regime (high fmap:weight ratio) where fusion
+// matters most.
+func MobileNetV2(batch int) *graph.Graph {
+	b := newBuilder(fmt.Sprintf("mobilenetv2-b%d", batch), 1)
+	in := b.input("input", graph.Shape{N: batch, C: 3, H: 224, W: 224})
+
+	x := b.conv("stem", in, 32, 3, 3, 2, 2, 1, 1) // 112x112x32
+
+	// (expansion t, output channels c, repeats n, stride s) per the paper.
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	blk := 0
+	for _, c := range cfg {
+		for i := 0; i < c.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = c.s
+			}
+			x = invertedResidual(b, fmt.Sprintf("b%d", blk), x, c.t, c.c, stride)
+			blk++
+		}
+	}
+	x = b.conv1("head", x, 1280)
+	x = b.gpool("gap", x)
+	b.fc("fc", x, 1000)
+	mustValidate(b.g)
+	return b.g
+}
+
+// invertedResidual adds expand -> depthwise -> project with a residual add
+// when shapes allow.
+func invertedResidual(b *builder, p string, in graph.LayerID, expand, outC, stride int) graph.LayerID {
+	is := b.g.Layer(in).Out
+	x := in
+	if expand != 1 {
+		x = b.conv1(p+"_exp", x, is.C*expand)
+	}
+	x = b.dwconv(p+"_dw", x, 3, 3, stride, stride, 1, 1)
+	x = b.conv1(p+"_proj", x, outC)
+	if stride == 1 && is.C == outC {
+		x = b.add(p+"_add", x, in)
+	}
+	return x
+}

@@ -1,0 +1,73 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"soma/internal/graph"
+)
+
+// RandWire builds a randomly wired network (Xie et al., ICCV'19) in the
+// small-compute regime: a conv stem followed by three randomly wired stages
+// of separable-conv nodes, then classification. The wiring is produced by a
+// seeded Erdos-Renyi-style generator so the workload is fully reproducible;
+// the paper uses RandWire to stress irregular, wide dependency structures.
+func RandWire(batch int) *graph.Graph { return RandWireSeeded(batch, 0x5e7) }
+
+// RandWireSeeded is RandWire with an explicit wiring seed (test hook).
+func RandWireSeeded(batch int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder(fmt.Sprintf("randwire-b%d", batch), 1)
+	in := b.input("input", graph.Shape{N: batch, C: 3, H: 224, W: 224})
+
+	// Stem: conv /2, then separable conv /2 -> 56x56.
+	x := b.conv("stem1", in, 32, 3, 3, 2, 2, 1, 1) // 112x112x32
+	x = b.conv("stem2", x, 64, 3, 3, 2, 2, 1, 1)   // 56x56x64
+
+	x = randStage(b, rng, "st1", x, 64, 10)  // 56x56
+	x = downsample(b, "ds1", x, 128)         // 28x28
+	x = randStage(b, rng, "st2", x, 128, 12) // 28x28
+	x = downsample(b, "ds2", x, 256)         // 14x14
+	x = randStage(b, rng, "st3", x, 256, 10) // 14x14
+
+	x = b.conv1("head", x, 1024)
+	x = b.gpool("gap", x)
+	b.fc("fc", x, 1000)
+	mustValidate(b.g)
+	return b.g
+}
+
+// downsample halves the spatial extent and widens channels between stages.
+func downsample(b *builder, name string, in graph.LayerID, outC int) graph.LayerID {
+	return b.conv(name, in, outC, 3, 3, 2, 2, 1, 1)
+}
+
+// randStage wires n separable-conv nodes with random skip edges. Node i
+// always consumes node i-1 (keeping the graph connected and the insertion
+// order topological) plus up to two random earlier nodes, aggregated with
+// element-wise adds as in the original RandWire formulation.
+func randStage(b *builder, rng *rand.Rand, p string, in graph.LayerID, ch, n int) graph.LayerID {
+	nodes := []graph.LayerID{in}
+	for i := 0; i < n; i++ {
+		// Pick the mandatory predecessor plus random extras.
+		agg := nodes[len(nodes)-1]
+		extras := rng.Intn(3)
+		for e := 0; e < extras && len(nodes) > 1; e++ {
+			cand := nodes[rng.Intn(len(nodes))]
+			if cand != agg {
+				agg = b.add(fmt.Sprintf("%s_n%d_agg%d", p, i, e), agg, cand)
+			}
+		}
+		// Separable conv node: depthwise 3x3 then pointwise 1x1.
+		dw := b.dwconv(fmt.Sprintf("%s_n%d_dw", p, i), agg, 3, 3, 1, 1, 1, 1)
+		pw := b.conv1(fmt.Sprintf("%s_n%d_pw", p, i), dw, ch)
+		nodes = append(nodes, pw)
+	}
+	// Stage output merges the last few nodes (RandWire averages all sinks;
+	// the last two suffice to create a wide join).
+	out := nodes[len(nodes)-1]
+	if len(nodes) > 2 {
+		out = b.add(p+"_out", out, nodes[len(nodes)-2])
+	}
+	return out
+}

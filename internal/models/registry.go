@@ -1,0 +1,51 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"soma/internal/graph"
+)
+
+// Builder constructs a workload graph at a batch size.
+type Builder func(batch int) *graph.Graph
+
+// registry maps workload names (as used by the CLI and the experiment
+// harness) to builders. GPT-2 variants follow the paper's platform pairing:
+// Small on edge, XL on cloud.
+var registry = map[string]Builder{
+	"resnet50":          ResNet50,
+	"resnet101":         ResNet101,
+	"ires":              InceptionResNetV1,
+	"randwire":          RandWire,
+	"vgg16":             VGG16,
+	"mobilenetv2":       MobileNetV2,
+	"transformer-large": TransformerLarge,
+	"gpt2s-prefill":     func(b int) *graph.Graph { return GPT2Prefill(GPT2Small(), b) },
+	"gpt2s-decode":      func(b int) *graph.Graph { return GPT2Decode(GPT2Small(), b) },
+	"gpt2xl-prefill":    func(b int) *graph.Graph { return GPT2Prefill(GPT2XL(), b) },
+	"gpt2xl-decode":     func(b int) *graph.Graph { return GPT2Decode(GPT2XL(), b) },
+}
+
+// Build constructs the named workload or returns an error listing the known
+// names.
+func Build(name string, batch int) (*graph.Graph, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown workload %q (known: %v)", name, Names())
+	}
+	if batch <= 0 {
+		return nil, fmt.Errorf("models: batch must be positive, got %d", batch)
+	}
+	return b(batch), nil
+}
+
+// Names lists the registered workloads in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

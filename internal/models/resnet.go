@@ -1,0 +1,64 @@
+package models
+
+import (
+	"fmt"
+
+	"soma/internal/graph"
+)
+
+// ResNet50 builds the standard ResNet-50 inference graph at the given batch
+// size (He et al., CVPR'16). ReLUs are folded into the producing layers, as
+// in the paper's instruction abstraction; batch-norms fold into conv weights.
+func ResNet50(batch int) *graph.Graph {
+	return resNet(fmt.Sprintf("resnet50-b%d", batch), batch, []int{3, 4, 6, 3})
+}
+
+// ResNet101 builds ResNet-101 (same structure as ResNet-50 with a 23-block
+// third stage).
+func ResNet101(batch int) *graph.Graph {
+	return resNet(fmt.Sprintf("resnet101-b%d", batch), batch, []int{3, 4, 23, 3})
+}
+
+// resNet builds a bottleneck ResNet with the given per-stage block counts.
+func resNet(name string, batch int, blocks []int) *graph.Graph {
+	b := newBuilder(name, 1)
+	in := b.input("input", graph.Shape{N: batch, C: 3, H: 224, W: 224})
+
+	x := b.conv("conv1", in, 64, 7, 7, 2, 2, 3, 3) // 112x112x64
+	x = b.pool("pool1", x, 3, 3, 2, 2, 1, 1)       // 56x56x64
+	stageMid := []int{64, 128, 256, 512}           // bottleneck width
+	stageOut := []int{256, 512, 1024, 2048}        // expansion width
+	for s, n := range blocks {                     //
+		for blk := 0; blk < n; blk++ {
+			prefix := fmt.Sprintf("s%d_b%d", s+2, blk)
+			stride := 1
+			if s > 0 && blk == 0 {
+				stride = 2
+			}
+			x = bottleneck(b, prefix, x, stageMid[s], stageOut[s], stride)
+		}
+	}
+	x = b.gpool("gap", x)
+	b.fc("fc1000", x, 1000)
+	mustValidate(b.g)
+	return b.g
+}
+
+// bottleneck adds the 1x1 -> 3x3 -> 1x1 residual block with an optional
+// projection shortcut.
+func bottleneck(b *builder, prefix string, in graph.LayerID, mid, out, stride int) graph.LayerID {
+	r := b.conv(prefix+"_red", in, mid, 1, 1, stride, stride, 0, 0)
+	c := b.conv3(prefix+"_3x3", r, mid)
+	e := b.conv1(prefix+"_exp", c, out)
+	short := in
+	if b.g.Layer(in).Out.C != out || stride != 1 {
+		short = b.conv(prefix+"_proj", in, out, 1, 1, stride, stride, 0, 0)
+	}
+	return b.add(prefix+"_add", e, short)
+}
+
+func mustValidate(g *graph.Graph) {
+	if err := g.Validate(); err != nil {
+		panic("models: " + err.Error())
+	}
+}

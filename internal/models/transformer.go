@@ -1,0 +1,122 @@
+package models
+
+import (
+	"fmt"
+
+	"soma/internal/graph"
+)
+
+// GPTConfig describes one GPT-2 variant.
+type GPTConfig struct {
+	Name   string
+	Layers int
+	DModel int
+	Heads  int
+	Vocab  int
+	// SeqLen is the prefill token count; decode attends over SeqLen
+	// cached tokens and produces token SeqLen+1 (paper Sec. VI-A2).
+	SeqLen int
+}
+
+// GPT2Small is the edge-platform workload: 12 layers, d=768, 512 tokens.
+func GPT2Small() GPTConfig {
+	return GPTConfig{Name: "gpt2s", Layers: 12, DModel: 768, Heads: 12, Vocab: 50257, SeqLen: 512}
+}
+
+// GPT2XL is the cloud-platform workload: 48 layers, d=1600, 1024 tokens.
+func GPT2XL() GPTConfig {
+	return GPTConfig{Name: "gpt2xl", Layers: 48, DModel: 1600, Heads: 25, Vocab: 50257, SeqLen: 1024}
+}
+
+// GPT2Prefill builds the prefill phase: all SeqLen tokens flow through every
+// block; attention is quadratic in sequence length.
+func GPT2Prefill(cfg GPTConfig, batch int) *graph.Graph {
+	return buildGPT(cfg, batch, false)
+}
+
+// GPT2Decode builds the decode phase for one generated token: single-token
+// GEMMs against full weights, with per-sample KV-cache reads modelled as
+// weight-like DRAM traffic on the attention layers. This reproduces the
+// paper's observation that decode imposes a nearly pure bandwidth demand.
+func GPT2Decode(cfg GPTConfig, batch int) *graph.Graph {
+	return buildGPT(cfg, batch, true)
+}
+
+func buildGPT(cfg GPTConfig, batch int, decode bool) *graph.Graph {
+	phase := "prefill"
+	tokens := cfg.SeqLen
+	keyLen := cfg.SeqLen
+	if decode {
+		phase = "decode"
+		tokens = 1
+		keyLen = cfg.SeqLen + 1
+	}
+	b := newBuilder(fmt.Sprintf("%s-%s-b%d", cfg.Name, phase, batch), 1)
+	d := cfg.DModel
+	eb := int64(b.g.ElemBytes)
+
+	// Embedded token activations enter the accelerator from DRAM.
+	x := b.input("tokens", graph.Shape{N: batch, C: d, H: tokens, W: 1})
+
+	for l := 0; l < cfg.Layers; l++ {
+		p := fmt.Sprintf("blk%d", l)
+		ln1 := b.layerNorm(p+"_ln1", x)
+		q := b.gemmSeq(p+"_q", ln1, d)
+		k := b.gemmSeq(p+"_k", ln1, d)
+		v := b.gemmSeq(p+"_v", ln1, d)
+
+		// In decode, attending over the cached context reads
+		// batch*keyLen*d bytes of K (and V) from DRAM per block.
+		var kvBytes int64
+		if decode {
+			kvBytes = int64(batch) * int64(cfg.SeqLen) * int64(d) * eb
+		}
+		scores := b.attnScores(p+"_qk", q, k, cfg.Heads, keyLen, kvBytes)
+		probs := b.softmaxRows(p+"_sm", scores)
+		ctx := b.attnContext(p+"_av", probs, v, d, keyLen, kvBytes)
+		proj := b.gemmSeq(p+"_proj", ctx, d)
+		att := b.add(p+"_add1", proj, x)
+
+		ln2 := b.layerNorm(p+"_ln2", att)
+		h := b.gemmSeq(p+"_fc1", ln2, 4*d)
+		h = b.gemmSeq(p+"_fc2", h, d)
+		x = b.add(p+"_add2", h, att)
+	}
+
+	x = b.layerNorm("ln_f", x)
+	b.gemmChunked("lm_head", x, cfg.Vocab, 16)
+	mustValidate(b.g)
+	return b.g
+}
+
+// TransformerLarge builds the encoder used for the paper's Fig. 3 motivation
+// scatter: a Transformer-Big-class encoder (6 layers, d=1024, 16 heads,
+// FF=4096) over 512 tokens.
+func TransformerLarge(batch int) *graph.Graph {
+	b := newBuilder(fmt.Sprintf("transformer-large-b%d", batch), 1)
+	d, heads, ff, tokens := 1024, 16, 4096, 512
+
+	x := b.input("tokens", graph.Shape{N: batch, C: d, H: tokens, W: 1})
+	for l := 0; l < 6; l++ {
+		p := fmt.Sprintf("enc%d", l)
+		q := b.gemmSeq(p+"_q", x, d)
+		k := b.gemmSeq(p+"_k", x, d)
+		v := b.gemmSeq(p+"_v", x, d)
+		scores := b.attnScores(p+"_qk", q, k, heads, tokens, 0)
+		probs := b.softmaxRows(p+"_sm", scores)
+		ctx := b.attnContext(p+"_av", probs, v, d, tokens, 0)
+		proj := b.gemmSeq(p+"_proj", ctx, d)
+		att := b.add(p+"_add1", proj, x)
+		att = b.layerNorm(p+"_ln1", att)
+
+		// The 4 MB FFN projections are chunked so an edge-scale buffer
+		// can double-buffer consecutive weight tensors (the standard
+		// column-parallel lowering).
+		h := b.gemmChunked(p+"_fc1", att, ff, 4)
+		h = b.gemmChunked(p+"_fc2", h, d, 4)
+		x = b.add(p+"_add2", h, att)
+		x = b.layerNorm(p+"_ln2", x)
+	}
+	mustValidate(b.g)
+	return b.g
+}

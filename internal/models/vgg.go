@@ -1,0 +1,54 @@
+package models
+
+import (
+	"fmt"
+
+	"soma/internal/graph"
+)
+
+// VGG16 builds the classic VGG-16 network (Simonyan & Zisserman). It is not
+// part of the paper's Fig. 6 set but is a standard stress test for the
+// weight-dominated regime: its first FC layer alone holds ~98 MB of INT8
+// parameters, far beyond any on-chip buffer, so it exercises the chunked
+// projection lowering and weight-streaming paths.
+func VGG16(batch int) *graph.Graph {
+	b := newBuilder(fmt.Sprintf("vgg16-b%d", batch), 1)
+	in := b.input("input", graph.Shape{N: batch, C: 3, H: 224, W: 224})
+
+	x := in
+	stage := func(name string, convs, outC int) {
+		for i := 0; i < convs; i++ {
+			x = b.conv3(fmt.Sprintf("%s_c%d", name, i), x, outC)
+		}
+		x = b.pool(name+"_pool", x, 2, 2, 2, 2, 0, 0)
+	}
+	stage("s1", 2, 64)  // 224 -> 112
+	stage("s2", 2, 128) // 112 -> 56
+	stage("s3", 3, 256) // 56 -> 28
+	stage("s4", 3, 512) // 28 -> 14
+	stage("s5", 3, 512) // 14 -> 7
+
+	// Classifier: fc1 is huge (25088 x 4096); chunk it so each slice's
+	// weights fit on-chip with double-buffering headroom.
+	x = b.fcChunked("fc1", x, 4096, 64)
+	x = b.fcChunked("fc2", x, 4096, 4)
+	b.fc("fc3", x, 1000)
+	mustValidate(b.g)
+	return b.g
+}
+
+// fcChunked splits a fully connected layer into output-column chunks joined
+// by a concat, mirroring gemmChunked for flattened CNN activations.
+func (b *builder) fcChunked(name string, in graph.LayerID, outC, chunks int) graph.LayerID {
+	if chunks <= 1 {
+		return b.fc(name, in, outC)
+	}
+	parts := make([]graph.LayerID, 0, chunks)
+	done := 0
+	for i := 0; i < chunks; i++ {
+		width := (outC - done) / (chunks - i)
+		parts = append(parts, b.fc(fmt.Sprintf("%s_c%d", name, i), in, width))
+		done += width
+	}
+	return b.concat(name+"_cat", parts...)
+}

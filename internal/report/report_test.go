@@ -1,0 +1,68 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.Add("short", "1")
+	tb.Add("a-much-longer-name", "22")
+	out := tb.String()
+	if !strings.Contains(out, "## demo") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Header and separator must align to the widest cell.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("separator misaligned:\n%s", out)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.Add("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.Add("1", "2")
+	tb.Add("3", "has,comma")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("csv header: %q", out)
+	}
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Fatalf("csv quoting: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[string]string{
+		F(1.2345, 2): "1.23",
+		Pct(0.5):     "50.00%",
+		MB(1 << 20):  "1.00MB",
+		Ms(1.5e6):    "1.500ms",
+		X(2.11):      "2.11x",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q want %q", got, want)
+		}
+	}
+	if !strings.Contains(E(12345.0), "e+") {
+		t.Errorf("E() = %q", E(12345.0))
+	}
+}

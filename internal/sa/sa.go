@@ -1,0 +1,118 @@
+// Package sa is the simulated-annealing engine both exploration stages share
+// (paper Sec. V-C): starting from an initial solution, each iteration applies
+// a random operator, evaluates the candidate, always accepts improvements and
+// accepts regressions with probability p = exp((c-c')/(c*T_n)), where the
+// temperature follows the paper's schedule T_n = T0*(1-n/N)/(1+alpha*n/N).
+// An optional wall-clock deadline switches the tail of the search to
+// improve-only iterations (the paper's "Y more iterations" rule).
+package sa
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Config tunes one annealing run.
+type Config struct {
+	// T0 is the initial temperature; Alpha the cooling rate.
+	T0, Alpha float64
+	// Iters is N, the total iteration budget.
+	Iters int
+	// Seed drives the operator selection (deterministic runs).
+	Seed int64
+	// Deadline, when positive, caps wall-clock time; after it expires the
+	// run performs PostIters improve-only iterations and stops.
+	Deadline  time.Duration
+	PostIters int
+}
+
+// DefaultConfig returns the temperatures used across the experiments.
+func DefaultConfig(iters int, seed int64) Config {
+	return Config{T0: 0.25, Alpha: 4, Iters: iters, Seed: seed, PostIters: 0}
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Iterations int
+	Accepted   int
+	Improved   int
+	BestIter   int
+}
+
+// Temperature evaluates the paper's cooling schedule at iteration n of N.
+func Temperature(t0, alpha float64, n, total int) float64 {
+	if total <= 0 {
+		return 0
+	}
+	frac := float64(n) / float64(total)
+	if frac >= 1 {
+		return 0
+	}
+	return t0 * (1 - frac) / (1 + alpha*frac)
+}
+
+// Run anneals from init. neighbor proposes a candidate derived from the
+// current state (returning ok=false for unproductive moves, which are
+// skipped); cost evaluates a state, with +Inf marking infeasible candidates.
+// Run returns the best state seen. States must be value-like: neighbor must
+// not mutate its argument.
+func Run[S any](cfg Config, init S, cost func(S) float64,
+	neighbor func(S, *rand.Rand) (S, bool)) (S, float64, Stats) {
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cur, curCost := init, cost(init)
+	best, bestCost := cur, curCost
+	var st Stats
+
+	var deadline time.Time
+	if cfg.Deadline > 0 {
+		deadline = time.Now().Add(cfg.Deadline)
+	}
+	improveOnly := false
+	post := cfg.PostIters
+
+	for n := 0; n < cfg.Iters; n++ {
+		if !deadline.IsZero() && !improveOnly && n%64 == 0 && time.Now().After(deadline) {
+			improveOnly = true
+		}
+		if improveOnly {
+			if post <= 0 {
+				break
+			}
+			post--
+		}
+		st.Iterations++
+		cand, ok := neighbor(cur, rng)
+		if !ok {
+			continue
+		}
+		cc := cost(cand)
+		accept := false
+		switch {
+		case cc <= curCost:
+			accept = true
+		case math.IsInf(curCost, 1):
+			accept = !math.IsInf(cc, 1)
+		case improveOnly || math.IsInf(cc, 1):
+			accept = false
+		default:
+			temp := Temperature(cfg.T0, cfg.Alpha, n, cfg.Iters)
+			if temp > 0 {
+				p := math.Exp((curCost - cc) / (curCost * temp))
+				accept = rng.Float64() < p
+			}
+		}
+		if !accept {
+			continue
+		}
+		st.Accepted++
+		cur, curCost = cand, cc
+		if curCost < bestCost {
+			best, bestCost = cur, curCost
+			st.Improved++
+			st.BestIter = n
+		}
+	}
+	return best, bestCost, st
+}

@@ -1,0 +1,127 @@
+package sa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestTemperatureSchedule(t *testing.T) {
+	if got := Temperature(1, 4, 0, 100); got != 1 {
+		t.Fatalf("T(0) = %g, want T0", got)
+	}
+	if got := Temperature(1, 4, 100, 100); got != 0 {
+		t.Fatalf("T(N) = %g, want 0", got)
+	}
+	// Monotone decreasing.
+	prev := math.Inf(1)
+	for n := 0; n <= 100; n += 10 {
+		cur := Temperature(0.25, 4, n, 100)
+		if cur > prev {
+			t.Fatalf("temperature rose at n=%d: %g > %g", n, cur, prev)
+		}
+		prev = cur
+	}
+	// Paper's closed form at the midpoint: T0 * 0.5 / (1 + alpha*0.5).
+	want := 0.25 * 0.5 / (1 + 4*0.5)
+	if got := Temperature(0.25, 4, 50, 100); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("T(N/2) = %g, want %g", got, want)
+	}
+	if Temperature(1, 4, 5, 0) != 0 {
+		t.Fatal("zero-length schedule must be cold")
+	}
+}
+
+func TestRunFindsQuadraticMinimum(t *testing.T) {
+	cost := func(x float64) float64 { return (x - 7) * (x - 7) }
+	neighbor := func(x float64, rng *rand.Rand) (float64, bool) {
+		return x + rng.NormFloat64(), true
+	}
+	best, bc, st := Run(DefaultConfig(5000, 1), 100.0, cost, neighbor)
+	if math.Abs(best-7) > 0.5 {
+		t.Fatalf("best = %g, want ~7 (cost %g)", best, bc)
+	}
+	if st.Accepted == 0 || st.Improved == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	cost := func(x int) float64 { return math.Abs(float64(x - 42)) }
+	neighbor := func(x int, rng *rand.Rand) (int, bool) {
+		return x + rng.Intn(7) - 3, true
+	}
+	a, ac, _ := Run(DefaultConfig(2000, 99), 0, cost, neighbor)
+	b, bc, _ := Run(DefaultConfig(2000, 99), 0, cost, neighbor)
+	if a != b || ac != bc {
+		t.Fatalf("same seed diverged: %d/%g vs %d/%g", a, ac, b, bc)
+	}
+	c, _, _ := Run(DefaultConfig(2000, 100), 0, cost, neighbor)
+	_ = c // different seed may or may not differ; just must not crash
+}
+
+func TestRunEscapesInfeasibleStart(t *testing.T) {
+	// Start in an infeasible region (cost +Inf); SA must accept the first
+	// feasible candidate regardless of its cost.
+	cost := func(x int) float64 {
+		if x < 10 {
+			return math.Inf(1)
+		}
+		return float64(x)
+	}
+	neighbor := func(x int, rng *rand.Rand) (int, bool) {
+		return x + rng.Intn(5) - 1, true
+	}
+	best, bc, _ := Run(DefaultConfig(3000, 7), 0, cost, neighbor)
+	if math.IsInf(bc, 1) {
+		t.Fatalf("never escaped infeasible region: best=%d", best)
+	}
+	if best < 10 {
+		t.Fatalf("returned infeasible best %d", best)
+	}
+}
+
+func TestRunNeverReturnsWorseThanInit(t *testing.T) {
+	cost := func(x float64) float64 { return x * x }
+	neighbor := func(x float64, rng *rand.Rand) (float64, bool) {
+		return x + rng.Float64()*10, true // only worsening moves
+	}
+	_, bc, _ := Run(DefaultConfig(500, 3), 2.0, cost, neighbor)
+	if bc > 4.0 {
+		t.Fatalf("best cost %g worse than init 4.0", bc)
+	}
+}
+
+func TestRunSkipsRejectedNeighbors(t *testing.T) {
+	calls := 0
+	cost := func(x int) float64 { calls++; return float64(x) }
+	neighbor := func(x int, rng *rand.Rand) (int, bool) { return x, false }
+	_, _, st := Run(DefaultConfig(100, 1), 5, cost, neighbor)
+	if st.Accepted != 0 {
+		t.Fatalf("accepted moves with no valid neighbors: %+v", st)
+	}
+	if calls != 1 { // only the init evaluation
+		t.Fatalf("cost called %d times for rejected neighbors", calls)
+	}
+}
+
+func TestRunDeadlineImproveOnly(t *testing.T) {
+	cfg := DefaultConfig(1_000_000, 1)
+	cfg.Deadline = time.Millisecond
+	cfg.PostIters = 10
+	worsenings := 0
+	cost := func(x float64) float64 { return x }
+	neighbor := func(x float64, rng *rand.Rand) (float64, bool) {
+		return x + rng.Float64() - 0.3, true
+	}
+	start := time.Now()
+	_, _, st := Run(cfg, 100.0, cost, neighbor)
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline ignored")
+	}
+	if st.Iterations >= 1_000_000 {
+		t.Fatal("ran the full budget despite deadline")
+	}
+	_ = worsenings
+}

@@ -1,0 +1,283 @@
+// Package sim is the paper's accurate evaluator (Sec. V-D): it replays a
+// parsed schedule on two serial resources - the DRAM channel, which executes
+// the DRAM tensors in DRAM Tensor Order, and the compute pipeline, which
+// executes the tiles in sequence - enforcing exactly the start conditions the
+// paper defines:
+//
+//   - a DRAM tensor starts when its predecessor in the DRAM Tensor Order has
+//     finished; loads additionally wait until every tile before their Living
+//     Duration Start has completed (and, for reloaded fmaps, until the
+//     producer's stores finished); stores wait for their producing tile;
+//   - a computing tile starts when all its loads have finished and every
+//     store with End <= tile has finished.
+//
+// The evaluator reports latency, the energy breakdown (core array vs DRAM),
+// both resources' busy times, buffer occupancy statistics and the
+// theoretical maximum utilization bound used as Fig. 6's blue diamonds.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"soma/internal/core"
+	"soma/internal/coresched"
+)
+
+// ErrDeadlock is returned when neither resource can make progress: the
+// encoding's DLSA is semantically invalid (e.g. a reload ordered before its
+// producing store).
+var ErrDeadlock = errors.New("sim: schedule deadlocks")
+
+// Options tunes one evaluation.
+type Options struct {
+	// BufferBudget overrides the hardware GBUF capacity for feasibility
+	// (the Buffer Allocator passes reduced stage budgets). Zero means the
+	// full configured capacity.
+	BufferBudget int64
+	// Trace retains per-tile and per-tensor start/end times for the
+	// execution-graph renderer.
+	Trace bool
+	// TileCosts reuses precomputed per-tile costs. The DLSA exploration
+	// stage never changes tiles, so it evaluates thousands of candidate
+	// schedules against one PrecomputeTileCosts result.
+	TileCosts *TileCosts
+}
+
+// TileCosts caches the compute-side evaluation of a schedule's tiles.
+type TileCosts struct {
+	Dur         []float64
+	CoreEnergy  float64
+	ComputeBusy float64
+}
+
+// PrecomputeTileCosts evaluates every tile of the schedule once.
+func PrecomputeTileCosts(s *core.Schedule, cs *coresched.Scheduler) *TileCosts {
+	tc := &TileCosts{Dur: make([]float64, s.NumTiles())}
+	for i := range tc.Dur {
+		r := cs.Evaluate(s.TileRequest(i))
+		tc.Dur[i] = r.TimeNS
+		tc.CoreEnergy += r.EnergyPJ
+		tc.ComputeBusy += r.TimeNS
+	}
+	return tc
+}
+
+// Metrics is the evaluation result.
+type Metrics struct {
+	// LatencyNS is the batch completion time (both resources drained).
+	LatencyNS float64
+	// EnergyPJ = CoreEnergyPJ + DRAMEnergyPJ.
+	EnergyPJ     float64
+	CoreEnergyPJ float64
+	DRAMEnergyPJ float64
+
+	// ComputeBusyNS / DRAMBusyNS are the summed occupancy times.
+	ComputeBusyNS float64
+	DRAMBusyNS    float64
+
+	TotalDRAMBytes int64
+
+	// PeakBufferBytes / AvgBufferBytes summarize GBUF occupancy
+	// (average weighted by tile compute time, per the paper's formula).
+	PeakBufferBytes int64
+	AvgBufferBytes  float64
+	// BufferOK reports peak <= budget.
+	BufferOK bool
+	Budget   int64
+
+	// Utilization is ops / (peak * latency) - the paper's performance
+	// proxy. TheoreticalMaxUtil is the no-stall bound.
+	Utilization        float64
+	TheoreticalMaxUtil float64
+	// DRAMUtilization / ComputeUtilization are busy/latency fractions.
+	DRAMUtilization    float64
+	ComputeUtilization float64
+
+	// Trace data (only when Options.Trace).
+	TileStart, TileEnd     []float64
+	TensorStart, TensorEnd []float64
+}
+
+// Cost folds the metrics into the paper's optimization objective
+// Energy^n x Delay^m.
+func (m *Metrics) Cost(n, mm float64) float64 {
+	return math.Pow(m.EnergyPJ, n) * math.Pow(m.LatencyNS, mm)
+}
+
+// Evaluate replays the schedule on the scheduler's hardware configuration.
+func Evaluate(s *core.Schedule, cs *coresched.Scheduler, opt Options) (*Metrics, error) {
+	cfg := cs.Config()
+	n := s.NumTiles()
+	mTensors := len(s.Tensors)
+	if len(s.Order) != mTensors {
+		return nil, fmt.Errorf("sim: order length %d != tensors %d", len(s.Order), mTensors)
+	}
+
+	// Per-tile durations and energies through the core-array scheduler
+	// (or the caller's precomputed cache).
+	tc := opt.TileCosts
+	if tc == nil {
+		tc = PrecomputeTileCosts(s, cs)
+	} else if len(tc.Dur) != n {
+		return nil, fmt.Errorf("sim: tile-cost cache covers %d tiles, schedule has %d", len(tc.Dur), n)
+	}
+	tileDur := tc.Dur
+	coreEnergy, computeBusy := tc.CoreEnergy, tc.ComputeBusy
+
+	// Which tensors gate which tile.
+	blockers := make([][]int, n+1)
+	for i := range s.Tensors {
+		t := &s.Tensors[i]
+		if t.Kind.IsLoad() {
+			blockers[t.FirstUse] = append(blockers[t.FirstUse], t.ID)
+		} else if t.End < n {
+			blockers[t.End] = append(blockers[t.End], t.ID)
+		}
+	}
+
+	tileEnd := make([]float64, n)
+	tensorEnd := make([]float64, mTensors)
+	committed := make([]bool, mTensors)
+	var tileStart, tensorStart []float64
+	if opt.Trace {
+		tileStart = make([]float64, n)
+		tensorStart = make([]float64, mTensors)
+	}
+
+	var computeFree, dramFree, dramBusy float64
+	var dramBytes int64
+	i, j := 0, 0
+	for i < n || j < mTensors {
+		advanced := false
+		// Drain every currently-ready DRAM tensor.
+		for j < mTensors {
+			t := &s.Tensors[s.Order[j]]
+			var depTime float64
+			if t.Kind.IsLoad() {
+				if i < t.Start {
+					break // needs more compute progress
+				}
+				if t.Start > 0 {
+					depTime = tileEnd[t.Start-1]
+				}
+				stalled := false
+				for _, st := range t.AfterStores {
+					if !committed[st] {
+						stalled = true
+						break
+					}
+					if tensorEnd[st] > depTime {
+						depTime = tensorEnd[st]
+					}
+				}
+				if stalled {
+					break
+				}
+			} else {
+				if i <= t.Producer {
+					break // producing tile not finished
+				}
+				depTime = tileEnd[t.Producer]
+			}
+			start := maxf(dramFree, depTime)
+			dur := float64(t.Bytes) / cfg.DRAMBandwidth
+			tensorEnd[t.ID] = start + dur
+			committed[t.ID] = true
+			if opt.Trace {
+				tensorStart[t.ID] = start
+			}
+			dramFree = start + dur
+			dramBusy += dur
+			dramBytes += t.Bytes
+			j++
+			advanced = true
+		}
+		// Commit the next tile if its gating tensors are done.
+		if i < n {
+			ready := true
+			var depTime float64
+			for _, tid := range blockers[i] {
+				if !committed[tid] {
+					ready = false
+					break
+				}
+				if tensorEnd[tid] > depTime {
+					depTime = tensorEnd[tid]
+				}
+			}
+			if ready {
+				start := maxf(computeFree, depTime)
+				tileEnd[i] = start + tileDur[i]
+				if opt.Trace {
+					tileStart[i] = start
+				}
+				computeFree = tileEnd[i]
+				i++
+				advanced = true
+			}
+		}
+		if !advanced {
+			return &Metrics{}, fmt.Errorf("%w: stuck at tile %d/%d, tensor %d/%d",
+				ErrDeadlock, i, n, j, mTensors)
+		}
+	}
+
+	latency := maxf(computeFree, dramFree)
+	budget := opt.BufferBudget
+	if budget == 0 {
+		budget = cfg.GBufBytes
+	}
+	usage := s.BufferUsage()
+	var peak int64
+	var weighted float64
+	for seq, u := range usage {
+		if u > peak {
+			peak = u
+		}
+		weighted += float64(u) * tileDur[seq]
+	}
+	avg := 0.0
+	if computeBusy > 0 {
+		avg = weighted / computeBusy
+	}
+
+	en := cfg.Energy
+	dramEnergy := float64(dramBytes) * (en.DRAMPerByte + en.GBufPerByte)
+	total := coreEnergy + dramEnergy + en.StaticPerNS*latency
+
+	ops := float64(s.G.TotalOps())
+	peakRate := cfg.PeakOpsPerNS()
+	theoLat := maxf(computeBusy, dramBusy)
+
+	m := &Metrics{
+		LatencyNS:          latency,
+		EnergyPJ:           total,
+		CoreEnergyPJ:       coreEnergy,
+		DRAMEnergyPJ:       dramEnergy,
+		ComputeBusyNS:      computeBusy,
+		DRAMBusyNS:         dramBusy,
+		TotalDRAMBytes:     dramBytes,
+		PeakBufferBytes:    peak,
+		AvgBufferBytes:     avg,
+		BufferOK:           peak <= budget,
+		Budget:             budget,
+		Utilization:        ops / (peakRate * latency),
+		TheoreticalMaxUtil: ops / (peakRate * theoLat),
+		DRAMUtilization:    dramBusy / latency,
+		ComputeUtilization: computeBusy / latency,
+	}
+	if opt.Trace {
+		m.TileStart, m.TileEnd = tileStart, tileEnd
+		m.TensorStart, m.TensorEnd = tensorStart, tensorEnd
+	}
+	return m, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package soma
+
+import (
+	"testing"
+
+	"soma/internal/hw"
+)
+
+func TestAblationNoFLC(t *testing.T) {
+	g := testNet(t)
+	p := FastParams()
+	p.Ablate.NoFLC = true
+	res, err := New(g, hw.Edge(), EDP(), p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Encoding.FLCs {
+		if !res.Encoding.IsDRAM[i] {
+			t.Fatal("NoFLC ablation produced a fine-grained-only cut")
+		}
+	}
+}
+
+func TestAblationNoTiling(t *testing.T) {
+	g := testNet(t)
+	p := FastParams()
+	p.Ablate.NoTiling = true
+	res, err := New(g, hw.Edge(), EDP(), p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With tiling frozen, every FLG's tiling number must still be one the
+	// initial heuristic could have produced for some of its layers: since
+	// merges inherit one of the two merged values, the set of values in
+	// use can only shrink from the initial per-layer set.
+	initial := map[int]bool{}
+	init := InitialEncoding(g, hw.Edge(), p.MinTile)
+	for _, tile := range init.Tile {
+		initial[tile] = true
+	}
+	for _, tile := range res.Encoding.Tile {
+		if !initial[tile] {
+			t.Fatalf("NoTiling ablation invented tiling number %d (initial set %v)",
+				tile, initial)
+		}
+	}
+}
+
+func TestAblationNoStage2(t *testing.T) {
+	g := testNet(t)
+	p := FastParams()
+	p.Ablate.NoStage2 = true
+	res, err := New(g, hw.Edge(), EDP(), p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stage2.Cost != res.Stage1.Cost {
+		t.Fatalf("NoStage2 must report stage-1 cost: %g vs %g",
+			res.Stage2.Cost, res.Stage1.Cost)
+	}
+}
+
+func TestAblationNoAllocator(t *testing.T) {
+	g := testNet(t)
+	p := FastParams()
+	p.Ablate.NoAllocator = true
+	res, err := New(g, hw.Edge(), EDP(), p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllocIters != 1 {
+		t.Fatalf("NoAllocator ran %d allocator iterations", res.AllocIters)
+	}
+	if res.Stage1Budget != hw.Edge().GBufBytes {
+		t.Fatalf("NoAllocator budget = %d", res.Stage1Budget)
+	}
+}
+
+func TestAblationsNeverBeatFull(t *testing.T) {
+	// Each ablation removes freedom, so with the same seed/budget the
+	// best ablated cost should not beat full search by more than noise.
+	g := testNet(t)
+	p := FastParams()
+	full, err := New(g, hw.Edge(), EDP(), p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ab := range []Ablation{{NoFLC: true}, {NoTiling: true}, {NoStage2: true}} {
+		pa := p
+		pa.Ablate = ab
+		res, err := New(g, hw.Edge(), EDP(), pa).Run()
+		if err != nil {
+			t.Fatalf("%+v: %v", ab, err)
+		}
+		if res.Cost < full.Cost*0.9 {
+			t.Fatalf("ablation %+v beat full search: %g < %g", ab, res.Cost, full.Cost)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package soma
+
+import "math/rand"
+
+// newRand gives tests a deterministic operator stream.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,106 @@
+package soma
+
+import (
+	"soma/internal/core"
+	"soma/internal/graph"
+	"soma/internal/hw"
+)
+
+// QuantumCycles is the KC-parallelism work quantum used by the heuristic
+// tiling rule: a tile should hold roughly this many cycles of full-array
+// work. Under KC mapping the spatial extent is "free", so layers with more
+// kernel-channel work per spatial element tile finer. The value is
+// calibrated so ResNet-50 stages land at the paper's reported Cocco tiling
+// numbers (8-16 at batch 1) and the per-network tile counts match the
+// Sec. VI-B averages.
+const QuantumCycles = 2048
+
+// HeuristicTile is the conservative tiling-number heuristic shared by the
+// Cocco baseline (its only tiling policy) and SoMa's stage-1 initial
+// solution (the paper's "minimum granularity required for the core array to
+// perform parallel computation"). It combines:
+//
+//   - the KC-parallelism work quantum (one quantum of MACs per tile), and
+//   - a buffer-fit refinement: the double-buffered tileable working set
+//     (largest fmap slab, per-sample weight slice, or global operand) must
+//     fit what remains of a conservative quarter-GBUF share after resident
+//     weights.
+//
+// The result is clamped to the group's splittable extent.
+func HeuristicTile(g *graph.Graph, cfg hw.Config, layers []graph.LayerID) int {
+	var resident, tileable int64
+	var maxMACs float64
+	maxSplit := 1 << 30
+	for _, id := range layers {
+		l := g.Layer(id)
+		if l.WeightsPerSample {
+			tileable = max64(tileable, l.WeightBytes)
+		} else {
+			resident += l.WeightBytes
+		}
+		// A tile's working set holds its output slab plus the input
+		// slabs of every operand (global operands ride whole).
+		working := l.Out.Bytes(g.ElemBytes)
+		for _, d := range l.Deps {
+			p := g.Layer(d.Producer)
+			working += p.Out.Bytes(g.ElemBytes)
+		}
+		tileable = max64(tileable, working)
+		if l.Kind.OnPEArray() {
+			if m := float64(l.Ops) / 2; m > maxMACs {
+				maxMACs = m
+			}
+		}
+		if sp := l.Out.N * l.Out.H * l.Out.W; sp < maxSplit {
+			maxSplit = sp
+		}
+	}
+
+	// KC-parallelism quantum.
+	quantum := float64(cfg.Cores*cfg.MACsPerCore()) * QuantumCycles
+	t := 1
+	for float64(t) < maxMACs/quantum {
+		t *= 2
+	}
+
+	// Buffer fit (closed form - resident weights cannot be tiled away,
+	// so the available share is floored rather than looping forever).
+	budget := cfg.GBufBytes / 4
+	avail := budget - resident
+	if floor := budget / 8; avail < floor {
+		avail = floor
+	}
+	need := 2 * tileable // double buffering
+	for int64(t) < (need+avail-1)/avail {
+		t *= 2
+	}
+
+	if t > maxSplit {
+		t = maxSplit
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// InitialEncoding builds stage 1's starting solution: every layer forms its
+// own FLG and LG at its heuristic minimum granularity (never below minTile).
+func InitialEncoding(g *graph.Graph, cfg hw.Config, minTile int) *core.Encoding {
+	e := core.DefaultEncoding(g, 1)
+	for i, id := range e.Order {
+		t := HeuristicTile(g, cfg, []graph.LayerID{id})
+		if t < minTile {
+			t = minTile
+		}
+		e.Tile[i] = t
+	}
+	return e
+}

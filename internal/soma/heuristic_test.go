@@ -1,0 +1,130 @@
+package soma
+
+import (
+	"testing"
+
+	"soma/internal/core"
+	"soma/internal/graph"
+	"soma/internal/hw"
+	"soma/internal/models"
+	"soma/internal/sim"
+)
+
+func TestHeuristicTilePositiveAndClamped(t *testing.T) {
+	g := testNet(t)
+	cfg := hw.Edge()
+	for _, id := range g.ComputeLayers() {
+		tile := HeuristicTile(g, cfg, []graph.LayerID{id})
+		l := g.Layer(id)
+		if tile < 1 {
+			t.Fatalf("%s: tile %d", l.Name, tile)
+		}
+		if tile > l.Out.N*l.Out.H*l.Out.W {
+			t.Fatalf("%s: tile %d exceeds splittable extent", l.Name, tile)
+		}
+	}
+}
+
+func TestHeuristicTileScalesWithWork(t *testing.T) {
+	// A layer with 64x the MACs must tile at least as fine.
+	mk := func(batch int) *graph.Graph {
+		g := graph.New("w", 1)
+		in := g.Add(graph.Layer{Name: "in", Kind: graph.Input, Out: sh(batch, 64, 56, 56)})
+		g.Add(graph.Layer{Name: "c", Kind: graph.Conv, Deps: []graph.Dep{{Producer: in}},
+			Out: sh(batch, 64, 56, 56), K: kr(3, 3, 1, 1, 1, 1),
+			WeightBytes: 64 * 64 * 9, Ops: int64(batch) * 2 * 64 * 64 * 9 * 56 * 56})
+		return g
+	}
+	small := mk(1)
+	big := mk(64)
+	ts := HeuristicTile(small, hw.Edge(), small.ComputeLayers())
+	tb := HeuristicTile(big, hw.Edge(), big.ComputeLayers())
+	if tb <= ts {
+		t.Fatalf("64x work should tile finer: %d <= %d", tb, ts)
+	}
+}
+
+func TestHeuristicTileCoversPerSampleWeights(t *testing.T) {
+	// A decode-style layer whose per-sample KV cache exceeds the GBUF must
+	// be split finely enough that one tile's slice fits.
+	g := models.GPT2Decode(models.GPT2Small(), 64)
+	cfg := hw.Edge()
+	enc := InitialEncoding(g, cfg, 1)
+	s, err := core.Parse(g, enc)
+	if err != nil {
+		t.Fatalf("initial encoding unparseable: %v", err)
+	}
+	if s.PeakBuffer() > cfg.GBufBytes {
+		t.Fatalf("initial decode encoding infeasible: peak %.2f MB",
+			float64(s.PeakBuffer())/(1<<20))
+	}
+}
+
+func TestInitialEncodingFeasibleAcrossZoo(t *testing.T) {
+	// The whole point of the heuristic initial solution: every workload at
+	// every batch size starts from a feasible (buffer-fitting) schedule on
+	// its paper platform.
+	cases := []struct {
+		model string
+		cfg   hw.Config
+	}{
+		{"resnet50", hw.Edge()},
+		{"resnet101", hw.Edge()},
+		{"ires", hw.Edge()},
+		{"randwire", hw.Edge()},
+		{"gpt2s-prefill", hw.Edge()},
+		{"gpt2s-decode", hw.Edge()},
+		{"gpt2xl-prefill", hw.Cloud()},
+		{"gpt2xl-decode", hw.Cloud()},
+	}
+	for _, c := range cases {
+		for _, b := range []int{1, 64} {
+			g, err := models.Build(c.model, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc := InitialEncoding(g, c.cfg, 1)
+			s, err := core.Parse(g, enc)
+			if err != nil {
+				t.Fatalf("%s b%d: %v", c.model, b, err)
+			}
+			if peak := s.PeakBuffer(); peak > c.cfg.GBufBytes {
+				t.Errorf("%s b%d: initial peak %.2f MB exceeds %.0f MB GBUF",
+					c.model, b, float64(peak)/(1<<20), float64(c.cfg.GBufBytes)/(1<<20))
+			}
+		}
+	}
+}
+
+func TestInitialEncodingRespectsMinTile(t *testing.T) {
+	g := testNet(t)
+	e := InitialEncoding(g, hw.Edge(), 16)
+	for _, tile := range e.Tile {
+		if tile < 16 {
+			t.Fatalf("tile %d below MinTile", tile)
+		}
+	}
+}
+
+// Evaluate the initial solution end to end once (regression guard for the
+// batch-64 feasibility bug).
+func TestStage1FeasibleAtBatch64(t *testing.T) {
+	g, err := models.Build("resnet50", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g, hw.Edge(), EDP(), FastParams())
+	enc := InitialEncoding(g, e.Cfg, 1)
+	s, err := core.Parse(g, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Evaluate(s, e.CS, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.BufferOK {
+		t.Fatalf("batch-64 initial solution infeasible: peak %.2f MB",
+			float64(m.PeakBufferBytes)/(1<<20))
+	}
+}

@@ -1,0 +1,216 @@
+// Package soma is the end-to-end scheduling framework of Sec. V: a Buffer
+// Allocator drives repeated two-stage explorations - stage 1 anneals the
+// Layer-Fusion-related Attributes under the classical double-buffer DLSA,
+// stage 2 freezes the LFA and anneals the DRAM Tensor Order and Living
+// Durations - splitting the GBUF between the two buffer-hungry paradigms
+// until the combined Energy^n x Delay^m cost stops improving.
+package soma
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"soma/internal/core"
+	"soma/internal/coresched"
+	"soma/internal/graph"
+	"soma/internal/hw"
+	"soma/internal/sa"
+	"soma/internal/sim"
+)
+
+// Objective is the optimization goal Energy^N x Delay^M.
+type Objective struct{ N, M float64 }
+
+// EDP is the paper's default objective (n = m = 1).
+func EDP() Objective { return Objective{N: 1, M: 1} }
+
+// Params are the search hyper-parameters (framework configuration input).
+type Params struct {
+	// Beta1 scales stage-1 iterations: N1 = Beta1 x #layers (paper: 100).
+	Beta1 int
+	// Beta2 scales stage-2 iterations: N2 = Beta2 x #tensors
+	// (paper: 1000; far smaller values already converge on our sizes).
+	Beta2 int
+	// Stage1MaxIters / Stage2MaxIters cap the stage budgets so very large
+	// workloads (hundreds of layers, 10^5 tensors) stay tractable.
+	Stage1MaxIters int
+	Stage2MaxIters int
+	// T0 / Alpha are the annealing temperatures.
+	T0, Alpha float64
+	// Seed makes runs reproducible.
+	Seed int64
+	// BufferStepFrac is the Buffer Allocator's per-iteration budget cut
+	// (the paper's a% = 10%).
+	BufferStepFrac float64
+	// Patience stops the allocator after this many consecutive
+	// non-improving iterations (the paper stops after 2).
+	Patience int
+	// MinTile is the initial tiling granularity of stage 1's no-fusion
+	// starting solution.
+	MinTile int
+	// Ablate disables individual design choices (Sec. VII ablations).
+	Ablate Ablation
+}
+
+// Ablation switches off SoMa design features to quantify their value.
+type Ablation struct {
+	// NoFLC restricts the FLC Set to equal the DRAM Cut Set (no
+	// weight-freeing fine-grained cuts), like the baseline.
+	NoFLC bool
+	// NoTiling freezes every tiling number at the initial granularity.
+	NoTiling bool
+	// NoStage2 skips the DLSA exploration stage.
+	NoStage2 bool
+	// NoAllocator runs a single two-stage pass with the full buffer
+	// instead of the Buffer Allocator loop.
+	NoAllocator bool
+}
+
+// PaperParams returns the paper's published hyper-parameters. Full runs take
+// server-scale time; prefer DefaultParams for interactive use.
+func PaperParams() Params {
+	return Params{Beta1: 100, Beta2: 1000, Stage1MaxIters: 1 << 20, Stage2MaxIters: 1 << 20,
+		T0: 0.25, Alpha: 4, Seed: 1, BufferStepFrac: 0.10, Patience: 2, MinTile: 1}
+}
+
+// DefaultParams returns laptop-scale parameters that preserve the paper's
+// qualitative results.
+func DefaultParams() Params {
+	return Params{Beta1: 24, Beta2: 8, Stage1MaxIters: 4000, Stage2MaxIters: 12000,
+		T0: 0.25, Alpha: 4, Seed: 1, BufferStepFrac: 0.10, Patience: 2, MinTile: 1}
+}
+
+// FastParams returns the smallest profile used by tests and smoke benches.
+func FastParams() Params {
+	p := DefaultParams()
+	p.Beta1, p.Beta2 = 8, 3
+	p.Stage1MaxIters, p.Stage2MaxIters = 1200, 2000
+	p.Patience = 1
+	return p
+}
+
+// StageResult bundles one stage's outcome.
+type StageResult struct {
+	Metrics *sim.Metrics
+	Cost    float64
+	Stats   sa.Stats
+}
+
+// Result is the framework output for one workload/hardware pair.
+type Result struct {
+	Encoding *core.Encoding
+	Schedule *core.Schedule
+	// Stage1 holds the best LFA solution under double-buffer DLSA;
+	// Stage2 the final solution after DLSA exploration.
+	Stage1, Stage2 StageResult
+	// Cost is the final objective value (== Stage2.Cost).
+	Cost float64
+	// AllocIters is the number of Buffer Allocator iterations executed.
+	AllocIters int
+	// Stage1Budget is the winning stage-1 buffer budget.
+	Stage1Budget int64
+}
+
+// Explorer runs SoMa for one graph on one hardware configuration.
+type Explorer struct {
+	G   *graph.Graph
+	CS  *coresched.Scheduler
+	Cfg hw.Config
+	Obj Objective
+	Par Params
+}
+
+// New builds an explorer. The core-array scheduler cache is shared across
+// all stages and allocator iterations.
+func New(g *graph.Graph, cfg hw.Config, obj Objective, par Params) *Explorer {
+	return &Explorer{G: g, CS: coresched.New(cfg), Cfg: cfg, Obj: obj, Par: par}
+}
+
+// cost evaluates a schedule under a stage budget, returning +Inf for
+// infeasible or deadlocked candidates together with the metrics when
+// available.
+func (e *Explorer) cost(s *core.Schedule, budget int64) (float64, *sim.Metrics) {
+	m, err := sim.Evaluate(s, e.CS, sim.Options{BufferBudget: budget})
+	if err != nil {
+		return math.Inf(1), nil
+	}
+	if !m.BufferOK {
+		return math.Inf(1), m
+	}
+	return m.Cost(e.Obj.N, e.Obj.M), m
+}
+
+// Run executes the full Buffer Allocator loop (Sec. V-B): iteration 1 gives
+// stage 1 the whole GBUF; subsequent iterations shrink the stage-1 budget by
+// BufferStepFrac of the first iteration's peak usage, and the loop stops
+// after Patience consecutive iterations without improving the overall cost.
+func (e *Explorer) Run() (*Result, error) {
+	full := e.Cfg.GBufBytes
+	best, err := e.RunOnce(full, e.Par.Seed)
+	if err != nil {
+		return nil, err
+	}
+	best.AllocIters = 1
+	best.Stage1Budget = full
+	if e.Par.Ablate.NoAllocator {
+		return best, nil
+	}
+
+	step := int64(e.Par.BufferStepFrac * float64(best.Stage1.Metrics.PeakBufferBytes))
+	if step <= 0 {
+		return best, nil
+	}
+	bad := 0
+	for k := 1; ; k++ {
+		budget := best.Stage1.Metrics.PeakBufferBytes - int64(k)*step
+		if budget <= 0 {
+			break
+		}
+		cand, err := e.RunOnce(budget, e.Par.Seed+int64(k))
+		if err != nil {
+			bad++
+		} else if cand.Cost < best.Cost {
+			cand.AllocIters = best.AllocIters + 1
+			cand.Stage1Budget = budget
+			best = cand
+			bad = 0
+		} else {
+			bad++
+		}
+		best.AllocIters++
+		if bad >= e.Par.Patience {
+			break
+		}
+	}
+	return best, nil
+}
+
+// RunOnce performs a single two-stage exploration with the given stage-1
+// buffer budget.
+func (e *Explorer) RunOnce(stage1Budget int64, seed int64) (*Result, error) {
+	enc, s1, err := e.RunStage1(stage1Budget, seed)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := core.Parse(e.G, enc)
+	if err != nil {
+		return nil, fmt.Errorf("soma: reparsing stage-1 winner: %w", err)
+	}
+	if e.Par.Ablate.NoStage2 {
+		return &Result{Encoding: enc, Schedule: sched,
+			Stage1: s1, Stage2: s1, Cost: s1.Cost}, nil
+	}
+	final, s2 := e.RunStage2(sched, seed)
+	return &Result{
+		Encoding: enc,
+		Schedule: final,
+		Stage1:   s1,
+		Stage2:   s2,
+		Cost:     s2.Cost,
+	}, nil
+}
+
+// ErrNoFeasible is returned when not even the initial no-fusion encoding can
+// be scheduled within the budget.
+var ErrNoFeasible = errors.New("soma: no feasible schedule found")

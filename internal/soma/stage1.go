@@ -1,0 +1,120 @@
+package soma
+
+import (
+	"math"
+	"math/rand"
+
+	"soma/internal/core"
+	"soma/internal/sa"
+)
+
+// RunStage1 anneals the LFA (Sec. V-C1). The initial solution is the
+// no-fusion encoding (every layer its own FLG and LG) at minimum tiling
+// granularity; the DLSA stays the classical double-buffer strategy during
+// this stage. Operators: change computing order, multiply/divide an FLG's
+// tiling number by two, add/delete an FLC, add/delete a DRAM cut.
+func (e *Explorer) RunStage1(budget int64, seed int64) (*core.Encoding, StageResult, error) {
+	init := InitialEncoding(e.G, e.Cfg, e.Par.MinTile)
+	iters := e.Par.Beta1 * len(init.Order)
+	if e.Par.Stage1MaxIters > 0 && iters > e.Par.Stage1MaxIters {
+		iters = e.Par.Stage1MaxIters
+	}
+
+	costEnc := func(enc *core.Encoding) float64 {
+		s, err := core.Parse(e.G, enc)
+		if err != nil {
+			return math.Inf(1)
+		}
+		c, _ := e.cost(s, budget)
+		return c
+	}
+
+	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed}
+	best, bestCost, stats := sa.Run(cfg, init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
+		return e.mutateLFA(enc, rng)
+	})
+	if math.IsInf(bestCost, 1) {
+		return nil, StageResult{}, ErrNoFeasible
+	}
+	s, err := core.Parse(e.G, best)
+	if err != nil {
+		return nil, StageResult{}, err
+	}
+	c, m := e.cost(s, budget)
+	return best, StageResult{Metrics: m, Cost: c, Stats: stats}, nil
+}
+
+// mutateLFA applies one random LFA operator to a clone of enc.
+func (e *Explorer) mutateLFA(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
+	c := enc.Clone()
+	n := len(c.Order)
+	switch rng.Intn(5) {
+	case 0: // Change Computing Order: move a random layer somewhere legal.
+		return c, c.MoveLayer(e.G, rng.Intn(n), rng.Intn(n))
+	case 1: // Change Tiling Number: x2 or /2 on a random FLG.
+		if e.Par.Ablate.NoTiling {
+			return c, false
+		}
+		f := rng.Intn(c.NumFLGs())
+		if rng.Intn(2) == 0 {
+			c.Tile[f] *= 2
+			// Cap at the FLG's realizable tile count to keep the
+			// space bounded.
+			if c.Tile[f] > maxTiles(e, c, f) {
+				return c, false
+			}
+		} else {
+			if c.Tile[f] <= 1 {
+				return c, false
+			}
+			c.Tile[f] /= 2
+		}
+		return c, true
+	case 2: // Add an FLC at a random uncut position.
+		p := 1 + rng.Intn(n-1)
+		ok := c.AddFLC(p)
+		if ok && e.Par.Ablate.NoFLC {
+			// Ablation: every cut must also be a DRAM cut.
+			for i, cut := range c.FLCs {
+				if cut == p {
+					c.IsDRAM[i] = true
+				}
+			}
+		}
+		return c, ok
+	case 3: // Delete an FLC; the merged FLG inherits a tiling number
+		// probabilistically by layer-count ratio (paper rule).
+		if len(c.FLCs) == 0 {
+			return c, false
+		}
+		i := rng.Intn(len(c.FLCs))
+		loA, hiA := c.FLGBounds(i)
+		loB, hiB := c.FLGBounds(i + 1)
+		tile := c.Tile[i]
+		if rng.Intn(hiB-loA) >= hiA-loA {
+			tile = c.Tile[i+1]
+		}
+		_ = loB
+		return c, c.RemoveFLC(i, tile)
+	default: // Add/Delete a DRAM cut (the added one must be an FLC).
+		if len(c.FLCs) == 0 || e.Par.Ablate.NoFLC {
+			return c, false
+		}
+		i := rng.Intn(len(c.FLCs))
+		c.IsDRAM[i] = !c.IsDRAM[i]
+		return c, true
+	}
+}
+
+// maxTiles bounds an FLG's useful tiling number by the smallest layer shape
+// in the group (finer splits produce empty tiles).
+func maxTiles(e *Explorer, c *core.Encoding, f int) int {
+	minN, minH, minW := math.MaxInt32, math.MaxInt32, math.MaxInt32
+	for _, id := range c.FLGLayers(f) {
+		s := e.G.Layer(id).Out
+		minN = min(minN, s.N)
+		minH = min(minH, s.H)
+		minW = min(minW, s.W)
+	}
+	return minN * minH * minW
+}

@@ -1,0 +1,113 @@
+package soma
+
+import (
+	"math"
+	"math/rand"
+
+	"soma/internal/core"
+	"soma/internal/sa"
+	"soma/internal/sim"
+)
+
+// RunStage2 anneals the DLSA (Sec. V-C2) of a frozen LFA solution: the
+// initial state is the double-buffer DLSA the parser installed; operators
+// move a DRAM tensor to another legal order position or jitter a Living
+// Duration (Start for loads, End for stores). Tensors are selected with
+// probability proportional to their size, as larger tensors move the needle
+// more (paper rule). Stage 2 may use the whole GBUF: the allocator's budget
+// split only constrains stage 1.
+func (e *Explorer) RunStage2(sched *core.Schedule, seed int64) (*core.Schedule, StageResult) {
+	iters := e.Par.Beta2 * len(sched.Tensors)
+	if iters > e.Par.Stage2MaxIters {
+		iters = e.Par.Stage2MaxIters
+	}
+	picker := newSizePicker(sched)
+
+	// Stage 2 never changes the tiles, so their costs are evaluated once
+	// and reused across every candidate DLSA.
+	tc := sim.PrecomputeTileCosts(sched, e.CS)
+	costS := func(s *core.Schedule) float64 {
+		m, err := sim.Evaluate(s, e.CS, sim.Options{BufferBudget: e.Cfg.GBufBytes, TileCosts: tc})
+		if err != nil || !m.BufferOK {
+			return math.Inf(1)
+		}
+		return m.Cost(e.Obj.N, e.Obj.M)
+	}
+	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed + 7919}
+	best, bestCost, stats := sa.Run(cfg, sched, costS, func(s *core.Schedule, rng *rand.Rand) (*core.Schedule, bool) {
+		c := s.Clone()
+		return c, mutateDLSA(c, picker, rng)
+	})
+	_, m := e.cost(best, e.Cfg.GBufBytes)
+	return best, StageResult{Metrics: m, Cost: bestCost, Stats: stats}
+}
+
+// mutateDLSA applies one random DLSA operator in place.
+func mutateDLSA(s *core.Schedule, picker *sizePicker, rng *rand.Rand) bool {
+	if len(s.Tensors) == 0 {
+		return false
+	}
+	id := picker.pick(rng)
+	t := &s.Tensors[id]
+	if rng.Intn(2) == 0 {
+		// Change DRAM Tensor Order: move the tensor elsewhere.
+		from := -1
+		for p, o := range s.Order {
+			if o == id {
+				from = p
+				break
+			}
+		}
+		return s.MoveTensor(from, rng.Intn(len(s.Order)))
+	}
+	// Change Living Duration: jitter Start (loads) or End (stores). The
+	// jitter span scales with the schedule length so prefetches can reach
+	// far-away DRAM-idle windows on large tile sequences.
+	span := s.NumTiles() / 16
+	if span < 8 {
+		span = 8
+	}
+	delta := 1 + rng.Intn(span)
+	if rng.Intn(2) == 0 {
+		delta = -delta
+	}
+	if t.Kind.IsLoad() {
+		old := t.Start
+		return s.SetStart(id, t.Start+delta) && s.Tensors[id].Start != old
+	}
+	old := t.End
+	return s.SetEnd(id, t.End+delta) && s.Tensors[id].End != old
+}
+
+// sizePicker samples tensor IDs proportionally to their byte size.
+type sizePicker struct {
+	cum []int64
+}
+
+func newSizePicker(s *core.Schedule) *sizePicker {
+	cum := make([]int64, len(s.Tensors))
+	var acc int64
+	for i := range s.Tensors {
+		acc += s.Tensors[i].Bytes
+		cum[i] = acc
+	}
+	return &sizePicker{cum: cum}
+}
+
+func (p *sizePicker) pick(rng *rand.Rand) int {
+	total := p.cum[len(p.cum)-1]
+	if total <= 0 {
+		return rng.Intn(len(p.cum))
+	}
+	x := rng.Int63n(total)
+	lo, hi := 0, len(p.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

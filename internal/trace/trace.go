@@ -1,0 +1,147 @@
+// Package trace renders DRAM-COMPUTE execution graphs (the diagrams of the
+// paper's Fig. 2, 4 and 8) as ASCII timelines: a COMPUTE row of tile blocks,
+// a DRAM row of load/store blocks, a BUFFER occupancy sparkline, and the
+// fusion structure (FLCs, DRAM cuts, tiling numbers). It consumes a schedule
+// plus a traced evaluation.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"soma/internal/core"
+	"soma/internal/sim"
+)
+
+// sparks are the buffer-occupancy glyphs from empty to full.
+var sparks = []rune(" .:-=+*#%@")
+
+// Render draws the execution graph with the given column width.
+func Render(s *core.Schedule, m *sim.Metrics, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if m.TileStart == nil || m.TensorStart == nil {
+		return "trace: evaluation was run without sim.Options.Trace\n"
+	}
+	total := m.LatencyNS
+	if total <= 0 {
+		return "trace: empty execution\n"
+	}
+	col := func(t float64) int {
+		c := int(t / total * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: latency %.3f ms, util %.2f%% (bound %.2f%%), energy %.2f mJ ===\n",
+		s.G.Name, m.LatencyNS/1e6, 100*m.Utilization, 100*m.TheoreticalMaxUtil, m.EnergyPJ/1e9)
+	fmt.Fprintf(&b, "structure: %d LGs, %d FLGs, tiling %v, %d tiles, %d DRAM tensors (%.2f MB)\n",
+		s.Enc.NumLGs(), s.Enc.NumFLGs(), s.Enc.Tile, s.NumTiles(), len(s.Tensors),
+		float64(s.TotalDRAMBytes())/(1<<20))
+
+	// COMPUTE row: one glyph per column; letters cycle per layer, '.' for
+	// stall (idle compute).
+	compute := make([]rune, width)
+	for i := range compute {
+		compute[i] = '.'
+	}
+	for i := range s.Tiles {
+		glyph := rune('A' + int(s.Tiles[i].Layer)%26)
+		for c := col(m.TileStart[i]); c <= col(m.TileEnd[i]-1e-9) && c < width; c++ {
+			compute[c] = glyph
+		}
+	}
+	// Mark LG boundaries on a separate ruler row.
+	ruler := make([]rune, width)
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	for i := 1; i < s.NumTiles(); i++ {
+		if s.Tiles[i].LG != s.Tiles[i-1].LG {
+			ruler[col(m.TileStart[i])] = '|'
+		} else if s.Tiles[i].FLG != s.Tiles[i-1].FLG {
+			ruler[col(m.TileStart[i])] = ':'
+		}
+	}
+
+	// DRAM row: W/I/O per kind, '.' for idle.
+	dram := make([]rune, width)
+	for i := range dram {
+		dram[i] = '.'
+	}
+	for _, ts := range s.Tensors {
+		glyph := []rune(ts.Kind.String())[0]
+		lo := col(m.TensorStart[ts.ID])
+		hi := col(m.TensorEnd[ts.ID] - 1e-9)
+		for c := lo; c <= hi && c < width; c++ {
+			dram[c] = glyph
+		}
+	}
+
+	// BUFFER sparkline: usage sampled at each column's midpoint tile.
+	usage := s.BufferUsage()
+	buffer := make([]rune, width)
+	peak := m.PeakBufferBytes
+	if peak == 0 {
+		peak = 1
+	}
+	tileAt := make([]int, width)
+	for i := range tileAt {
+		tileAt[i] = -1
+	}
+	for i := range s.Tiles {
+		for c := col(m.TileStart[i]); c <= col(m.TileEnd[i]-1e-9) && c < width; c++ {
+			tileAt[c] = i
+		}
+	}
+	last := 0
+	for c := 0; c < width; c++ {
+		if tileAt[c] >= 0 {
+			last = tileAt[c]
+		}
+		level := int(float64(usage[last]) / float64(peak) * float64(len(sparks)-1))
+		buffer[c] = sparks[level]
+	}
+
+	fmt.Fprintf(&b, "CUTS    %s\n", string(ruler))
+	fmt.Fprintf(&b, "COMPUTE %s\n", string(compute))
+	fmt.Fprintf(&b, "DRAM    %s\n", string(dram))
+	fmt.Fprintf(&b, "BUFFER  %s  (peak %.2f MB, avg %.2f MB)\n",
+		string(buffer), float64(m.PeakBufferBytes)/(1<<20), m.AvgBufferBytes/(1<<20))
+	fmt.Fprintf(&b, "legend: COMPUTE letters=tiles .=stall | DRAM W=weights I=ifmaps O=ofmaps .=idle | CUTS |=DRAM cut :=FLC\n")
+	return b.String()
+}
+
+// Legend describes the layer-letter assignment of a schedule (the COMPUTE
+// row cycles the alphabet by layer ID).
+func Legend(s *core.Schedule) string {
+	seen := map[rune]string{}
+	order := []rune{}
+	for _, id := range s.Enc.Order {
+		g := rune('A' + int(id)%26)
+		if _, ok := seen[g]; !ok {
+			seen[g] = s.G.Layer(id).Name
+			order = append(order, g)
+		}
+	}
+	var b strings.Builder
+	for i, g := range order {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", g, seen[g])
+		if i == 11 {
+			b.WriteString(" ...")
+			break
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

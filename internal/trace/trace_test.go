@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"soma/internal/core"
+	"soma/internal/coresched"
+	"soma/internal/graph"
+	"soma/internal/hw"
+	"soma/internal/sim"
+)
+
+func sh(n, c, h, w int) graph.Shape { return graph.Shape{N: n, C: c, H: h, W: w} }
+
+func tracedSchedule(t *testing.T) (*core.Schedule, *sim.Metrics) {
+	g := graph.New("trace", 1)
+	in := g.Add(graph.Layer{Name: "in", Kind: graph.Input, Out: sh(1, 8, 16, 16)})
+	a := g.Add(graph.Layer{Name: "a", Kind: graph.Conv, Deps: []graph.Dep{{Producer: in}},
+		Out: sh(1, 8, 16, 16), K: graph.Kernel{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1},
+		WeightBytes: 576, Ops: 2 * 8 * 8 * 9 * 16 * 16})
+	g.Add(graph.Layer{Name: "b", Kind: graph.Conv, Deps: []graph.Dep{{Producer: a}},
+		Out: sh(1, 8, 16, 16), K: graph.Kernel{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1},
+		WeightBytes: 576, Ops: 2 * 8 * 8 * 9 * 16 * 16})
+	s, err := core.Parse(g, core.DefaultEncoding(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Evaluate(s, coresched.New(hw.Edge()), sim.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m
+}
+
+func TestRenderContainsAllRows(t *testing.T) {
+	s, m := tracedSchedule(t)
+	out := Render(s, m, 80)
+	for _, want := range []string{"COMPUTE", "DRAM", "BUFFER", "CUTS", "legend", "LGs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Loads and stores must appear as glyphs in the DRAM row (tiny weight
+	// blocks may be overpainted by wider co-located transfers).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "DRAM") &&
+			(!strings.Contains(line, "I") || !strings.Contains(line, "O")) {
+			t.Fatalf("DRAM row missing load/store blocks:\n%s", out)
+		}
+	}
+}
+
+func TestRenderWithoutTrace(t *testing.T) {
+	s, _ := tracedSchedule(t)
+	m := &sim.Metrics{LatencyNS: 100} // no trace slices
+	out := Render(s, m, 80)
+	if !strings.Contains(out, "without sim.Options.Trace") {
+		t.Fatalf("missing trace warning: %q", out)
+	}
+}
+
+func TestRenderClampsWidth(t *testing.T) {
+	s, m := tracedSchedule(t)
+	out := Render(s, m, 1) // clamped to 20
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestLegend(t *testing.T) {
+	s, _ := tracedSchedule(t)
+	l := Legend(s)
+	if !strings.Contains(l, "=a") || !strings.Contains(l, "=b") {
+		t.Fatalf("legend = %q", l)
+	}
+}
