@@ -125,6 +125,54 @@ func BenchmarkFig8Trace(b *testing.B) {
 	}
 }
 
+// --- portfolio search engine ----------------------------------------------
+
+// benchPortfolio runs the SoMa search on ResNet-50 (edge, batch 1) with an
+// 8-chain portfolio on the given worker count. Comparing the Workers=1 and
+// Workers=8 variants measures the engine's parallel speedup; the best
+// schedule is identical across all of them by construction.
+func benchPortfolio(b *testing.B, workers int) {
+	g := models.ResNet50(1)
+	par := fastPar()
+	par.Chains = 8
+	par.Workers = workers
+	for i := 0; i < b.N; i++ {
+		res, err := soma.New(g, hw.Edge(), soma.EDP(), par).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cache.Hits == 0 {
+			b.Fatal("portfolio run must produce evaluation-cache hits")
+		}
+	}
+}
+
+// BenchmarkPortfolioSerial is the baseline: 8 chains on one worker.
+func BenchmarkPortfolioSerial(b *testing.B) { benchPortfolio(b, 1) }
+
+// BenchmarkPortfolio4Workers runs the same 8 chains on 4 workers.
+func BenchmarkPortfolio4Workers(b *testing.B) { benchPortfolio(b, 4) }
+
+// BenchmarkPortfolio8Workers runs the same 8 chains on 8 workers.
+func BenchmarkPortfolio8Workers(b *testing.B) { benchPortfolio(b, 8) }
+
+// BenchmarkEvalCacheHit measures a memoized re-evaluation (one canonical-key
+// build plus a map lookup) against BenchmarkSimulate's full replay.
+func BenchmarkEvalCacheHit(b *testing.B) {
+	s := resnetSchedule(b)
+	cs := coresched.New(hw.Edge())
+	cache := sim.NewCache(0)
+	if _, err := cache.Evaluate(s, cs, sim.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Evaluate(s, cs, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- micro-benchmarks of the pipeline stages -------------------------------
 
 func resnetSchedule(b *testing.B) *core.Schedule {

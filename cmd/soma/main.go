@@ -8,6 +8,7 @@
 //
 //	soma -model resnet50 -batch 1 -hw edge
 //	soma -model gpt2xl-prefill -batch 4 -hw cloud -profile default
+//	soma -model resnet50 -chains 8 -workers 4
 //	soma -model resnet50 -framework cocco -trace
 //	soma -model resnet50 -ir out.ir -dram 32 -buf 16
 package main
@@ -39,6 +40,8 @@ func main() {
 	profile := flag.String("profile", "default", "search profile: fast|default|paper")
 	framework := flag.String("framework", "soma", "scheduler: soma|cocco")
 	seed := flag.Int64("seed", 1, "search seed")
+	chains := flag.Int("chains", 0, "portfolio chains per annealing stage (<=1 = serial)")
+	workers := flag.Int("workers", 0, "goroutines running portfolio chains (<=1 = serial; result is identical for any value)")
 	beta1 := flag.Int("beta1", 0, "override stage-1 iteration multiplier")
 	beta2 := flag.Int("beta2", 0, "override stage-2 iteration multiplier")
 	objN := flag.Float64("energy-exp", 1, "objective exponent n in Energy^n x Delay^m")
@@ -73,6 +76,8 @@ func main() {
 		fatal(fmt.Errorf("unknown profile %q", *profile))
 	}
 	par.Seed = *seed
+	par.Chains = *chains
+	par.Workers = *workers
 	if *beta1 > 0 {
 		par.Beta1 = *beta1
 	}
@@ -102,6 +107,12 @@ func main() {
 		sched, metrics = res.Schedule, res.Stage2.Metrics
 		fmt.Printf("buffer allocator: %d iterations, stage-1 budget %s\n",
 			res.AllocIters, report.MB(res.Stage1Budget))
+		if st := res.Stage2.Stats; st.Chains > 1 {
+			fmt.Printf("portfolio: %d chains on %d workers, stage-2 winner chain %d\n",
+				st.Chains, st.Workers, st.BestChain)
+		}
+		fmt.Printf("eval cache: %s hit rate, %d entries\n",
+			report.HitRate(res.Cache.Hits, res.Cache.Misses), res.Cache.Entries)
 		fmt.Printf("stage 1: latency %s, energy %.3f mJ\n",
 			report.Ms(res.Stage1.Metrics.LatencyNS), res.Stage1.Metrics.EnergyPJ/1e9)
 	default:

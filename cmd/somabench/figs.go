@@ -131,6 +131,13 @@ func (h *harness) fig6(batches []int) error {
 		return err
 	}
 
+	var cacheHits, cacheMisses int64
+	for _, r := range results {
+		cacheHits += r.Cache.Hits
+		cacheMisses += r.Cache.Misses
+	}
+	fmt.Printf("eval cache across cases: %s hit rate\n", report.HitRate(cacheHits, cacheMisses))
+
 	gm := exp.Summarize(results)
 	s := report.New("Sec.VI-B summary (geometric means over valid cases)",
 		"metric", "value", "paper-reports")

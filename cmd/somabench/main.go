@@ -33,7 +33,9 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	profile := fs.String("profile", "default", "search profile: fast|default|paper")
-	workers := fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
+	workers := fs.Int("workers", 0, "parallel workers across cases (0 = all CPUs)")
+	chains := fs.Int("chains", 0, "portfolio chains per annealing stage (<=1 = serial)")
+	chainWorkers := fs.Int("chainworkers", 0, "goroutines per portfolio (<=1 = serial; best kept at 1 when -workers already saturates the CPUs)")
 	outDir := fs.String("out", "", "directory for CSV outputs (optional)")
 	workload := fs.String("workload", "resnet50", "workload for fig7/fig8")
 	platform := fs.String("platform", "edge", "platform for fig8: edge|cloud")
@@ -49,6 +51,8 @@ func main() {
 		fatal(err)
 	}
 	par.Seed = *seed
+	par.Chains = *chains
+	par.Workers = *chainWorkers
 	h := &harness{par: par, workers: *workers, outDir: *outDir}
 
 	switch cmd {

@@ -1,0 +1,3 @@
+module soma
+
+go 1.22

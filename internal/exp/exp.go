@@ -1,8 +1,8 @@
 // Package exp implements the paper's experiments: every figure of the
 // evaluation (Sec. VI) and discussion (Sec. VII) maps to one function here,
-// shared between the somabench command and the benchmark suite. See
-// DESIGN.md's per-experiment index and EXPERIMENTS.md for paper-vs-measured
-// results.
+// shared between the somabench command and the benchmark suite. The
+// top-level README's paper-artifact map lists which command regenerates
+// which figure.
 package exp
 
 import (
@@ -103,6 +103,8 @@ type PairResult struct {
 	Cocco Row
 	Ours1 Row
 	Ours2 Row
+	// Cache is the SoMa run's evaluation-cache counter snapshot.
+	Cache sim.CacheStats
 	Err   error
 }
 
@@ -131,6 +133,7 @@ func RunPair(c Case, par soma.Params) PairResult {
 		out.Err = fmt.Errorf("soma %s: %w", c, err)
 		return out
 	}
+	out.Cache = ours.Cache
 	// Stage 1 metrics come from re-parsing the winning encoding with the
 	// heuristic double-buffer DLSA (what "Ours_1" shows in Fig. 6).
 	s1sched, err := core.Parse(g, ours.Encoding)

@@ -1,8 +1,3 @@
-// Package models is the workload zoo of the paper's evaluation (Sec. VI-A):
-// ResNet-50, ResNet-101, Inception-ResNet-v1, RandWire, GPT-2 (Small and XL,
-// prefill and decode) and Transformer-Large. All graphs are constructed
-// programmatically with exact per-layer shapes, weight footprints and op
-// counts; there is no external model-file dependency.
 package models
 
 import (

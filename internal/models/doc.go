@@ -1,0 +1,20 @@
+// Package models is the workload zoo of the paper's evaluation (Sec. VI-A):
+// ResNet-50, ResNet-101, Inception-ResNet-v1, RandWire, GPT-2 (Small and XL,
+// prefill and decode), Transformer-Large, plus VGG-16 and MobileNet-V2 as
+// extras. All graphs are constructed programmatically with exact per-layer
+// shapes, weight footprints and op counts; there is no external model-file
+// dependency.
+//
+// Build(name, batch) resolves a workload by registry name - the same names
+// the soma CLI's -model flag and the experiment harness use - and
+// Names() lists them. The paper's platform pairing maps GPT-2 Small to the
+// edge accelerator and GPT-2 XL to the cloud accelerator (exp.Workloads);
+// decode-phase GPT-2 graphs model the KV cache as per-batch weight
+// streaming, which reproduces the bandwidth-bound LLM observations of
+// Sec. VI (utilization growing sublinearly with batch).
+//
+// CNNs cover the fusion-friendly regime the SoMa stage-1 search exploits;
+// RandWire stresses irregular inter-layer connectivity; the transformer
+// workloads stress the weight-dominated, fusion-hostile regime where
+// stage 2's prefetch/delayed-store freedom does most of the work.
+package models

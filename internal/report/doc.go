@@ -1,0 +1,16 @@
+// Package report provides the table and CSV emitters the experiment harness
+// uses to print paper-figure data series.
+//
+// Every figure command of somabench builds its output as a report.Table:
+// String renders an aligned text table for the terminal, WriteCSV emits the
+// same series as a CSV file (the -out flag), so a figure's numbers exist in
+// exactly one place. The formatting helpers encode the units conventions
+// used throughout the evaluation (Sec. VI): Ms for latencies (milliseconds),
+// MB for buffer sizes (mebibytes), Pct for utilizations, X for the speedup
+// ratios of the Sec. VI-B summary, and HitRate for the evaluation-cache
+// counters of the parallel search engine.
+//
+// The package is deliberately dependency-free (it formats, it does not
+// compute) so every layer - cmd binaries, internal/exp, tests - can use it
+// without import cycles.
+package report

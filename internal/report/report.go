@@ -1,5 +1,3 @@
-// Package report provides the table and CSV emitters the experiment harness
-// uses to print paper-figure data series.
 package report
 
 import (
@@ -99,3 +97,13 @@ func Ms(ns float64) string { return fmt.Sprintf("%.3fms", ns/1e6) }
 
 // X formats a speedup factor.
 func X(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// HitRate formats memoization counters as "rate% (hits/lookups)" - used to
+// surface the evaluation cache's effectiveness in run reports.
+func HitRate(hits, misses int64) string {
+	total := hits + misses
+	if total == 0 {
+		return "n/a (0 lookups)"
+	}
+	return fmt.Sprintf("%.1f%% (%d/%d)", 100*float64(hits)/float64(total), hits, total)
+}

@@ -1,0 +1,110 @@
+package sa
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// PortfolioConfig sizes a portfolio run: Chains independent annealing chains
+// executed on at most Workers goroutines. Zero or negative values normalize
+// to 1, so the zero value is exactly the classic serial Run.
+type PortfolioConfig struct {
+	// Chains is the number of independently seeded restarts. Chain i runs
+	// with seed Config.Seed+i, so the portfolio's outcome is a pure
+	// function of (Config, Chains) - the Workers knob only changes
+	// wall-clock time, never the returned solution (provided
+	// Config.Deadline is zero; see RunPortfolio).
+	Chains int
+	// Workers bounds the goroutines running chains concurrently.
+	Workers int
+}
+
+func (p PortfolioConfig) normalized() PortfolioConfig {
+	if p.Chains < 1 {
+		p.Chains = 1
+	}
+	if p.Workers < 1 {
+		p.Workers = 1
+	}
+	if p.Workers > p.Chains {
+		p.Workers = p.Chains
+	}
+	return p
+}
+
+// PortfolioStats aggregates the chain runs.
+type PortfolioStats struct {
+	// Total sums Iterations/Accepted/Improved across every chain;
+	// Total.BestIter is the winning chain's best iteration.
+	Total Stats
+	// Chains/Workers are the normalized pool dimensions actually used.
+	Chains, Workers int
+	// BestChain is the index of the winning chain (ties break toward the
+	// lowest index, which keeps selection deterministic).
+	BestChain int
+	// PerChain holds each chain's own statistics.
+	PerChain []Stats
+}
+
+// RunPortfolio anneals Chains independent chains from the same initial
+// solution and returns the best state found across all of them. Every chain
+// is the deterministic serial Run under its derived seed, and the winner is
+// selected by (cost, chain index), so a fixed Config.Seed yields an
+// identical result for any Workers value - parallelism is observationally
+// equivalent to the serial sweep.
+//
+// The invariance requires Config.Deadline == 0: a wall-clock deadline makes
+// each chain's improve-only cutoff depend on when the pool scheduled it, so
+// deadline runs trade determinism for bounded time just like serial Run.
+//
+// cost and neighbor must be safe for concurrent use when Workers > 1
+// (neighbor already must not mutate its argument; cost must not mutate
+// shared state without synchronization).
+func RunPortfolio[S any](cfg Config, pf PortfolioConfig, init S, cost func(S) float64,
+	neighbor func(S, *rand.Rand) (S, bool)) (S, float64, PortfolioStats) {
+
+	pf = pf.normalized()
+	if pf.Chains == 1 {
+		best, bestCost, st := Run(cfg, init, cost, neighbor)
+		return best, bestCost, PortfolioStats{
+			Total: st, Chains: 1, Workers: 1, PerChain: []Stats{st}}
+	}
+
+	type outcome struct {
+		best S
+		cost float64
+		st   Stats
+	}
+	results := make([]outcome, pf.Chains)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, pf.Workers)
+	for c := 0; c < pf.Chains; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			chainCfg := cfg
+			chainCfg.Seed = cfg.Seed + int64(c)
+			best, bc, st := Run(chainCfg, init, cost, neighbor)
+			results[c] = outcome{best: best, cost: bc, st: st}
+		}(c)
+	}
+	wg.Wait()
+
+	ps := PortfolioStats{Chains: pf.Chains, Workers: pf.Workers,
+		PerChain: make([]Stats, pf.Chains)}
+	winner := 0
+	for c, r := range results {
+		ps.PerChain[c] = r.st
+		ps.Total.Iterations += r.st.Iterations
+		ps.Total.Accepted += r.st.Accepted
+		ps.Total.Improved += r.st.Improved
+		if r.cost < results[winner].cost {
+			winner = c
+		}
+	}
+	ps.BestChain = winner
+	ps.Total.BestIter = results[winner].st.BestIter
+	return results[winner].best, results[winner].cost, ps
+}

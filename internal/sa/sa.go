@@ -1,10 +1,3 @@
-// Package sa is the simulated-annealing engine both exploration stages share
-// (paper Sec. V-C): starting from an initial solution, each iteration applies
-// a random operator, evaluates the candidate, always accepts improvements and
-// accepts regressions with probability p = exp((c-c')/(c*T_n)), where the
-// temperature follows the paper's schedule T_n = T0*(1-n/N)/(1+alpha*n/N).
-// An optional wall-clock deadline switches the tail of the search to
-// improve-only iterations (the paper's "Y more iterations" rule).
 package sa
 
 import (

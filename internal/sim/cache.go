@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"soma/internal/core"
+	"soma/internal/coresched"
+)
+
+// Cache memoizes schedule evaluations. The annealing stages revisit states -
+// rejected moves get re-proposed, portfolio chains share the initial
+// solution, and every stage re-evaluates its winner once more at the end -
+// so keying the evaluator by the schedule's canonical encoding (plus the
+// buffer budget, which decides feasibility) turns those repeats into map
+// lookups. A Cache is safe for concurrent use by the portfolio workers.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	cap     int
+
+	hits, misses, flushes int64
+}
+
+type cacheEntry struct {
+	m   Metrics
+	err error
+}
+
+// DefaultCacheEntries bounds the cache before it flushes (an entry is a
+// Metrics value plus its key, i.e. a few hundred bytes).
+const DefaultCacheEntries = 1 << 17
+
+// NewCache creates a cache holding at most capacity entries (<= 0 selects
+// DefaultCacheEntries). When full, the cache is flushed wholesale: the
+// annealer's revisit distance is short, so an epoch flush loses little.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &Cache{entries: make(map[string]cacheEntry), cap: capacity}
+}
+
+// Evaluate is a memoizing sim.Evaluate. Traced evaluations bypass the cache:
+// their slices are large and the execution-graph renderer only ever runs
+// once per figure.
+func (c *Cache) Evaluate(s *core.Schedule, cs *coresched.Scheduler, opt Options) (*Metrics, error) {
+	if c == nil || opt.Trace {
+		return Evaluate(s, cs, opt)
+	}
+	return c.Memoize(Key(s.CanonicalKey(), opt.BufferBudget), func() (*Metrics, error) {
+		return Evaluate(s, cs, opt)
+	})
+}
+
+// Key combines a canonical schedule (or encoding) key with the buffer budget
+// it is evaluated under. Callers that can compute their key more cheaply
+// than building the schedule use it with Memoize directly - stage 1 keys on
+// the encoding and skips the parse entirely on a hit.
+func Key(canonical string, budget int64) string {
+	return string(binary.AppendVarint([]byte(canonical), budget))
+}
+
+// Memoize returns the cached evaluation for key, or runs eval and stores its
+// result. The returned Metrics points to a private copy, so callers may not
+// corrupt the cache by mutating it.
+func (c *Cache) Memoize(key string, eval func() (*Metrics, error)) (*Metrics, error) {
+	if c == nil {
+		return eval()
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		m := e.m
+		return &m, e.err
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	m, err := eval()
+	e := cacheEntry{err: err}
+	if m != nil {
+		e.m = *m
+	}
+	c.mu.Lock()
+	if len(c.entries) >= c.cap {
+		c.entries = make(map[string]cacheEntry)
+		c.flushes++
+	}
+	c.entries[key] = e
+	c.mu.Unlock()
+	return m, err
+}
+
+// CacheStats is a point-in-time counter snapshot. report.HitRate formats the
+// counters as a rate for run reports.
+type CacheStats struct {
+	Hits, Misses int64
+	Entries      int
+	Flushes      int64
+}
+
+// Stats snapshots the cache counters. Safe on a nil cache.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Flushes: c.flushes}
+}

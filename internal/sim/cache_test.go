@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"soma/internal/core"
+	"soma/internal/coresched"
+	"soma/internal/graph"
+	"soma/internal/hw"
+)
+
+func cacheTestSchedule(t testing.TB) (*core.Schedule, *coresched.Scheduler) {
+	t.Helper()
+	g := graph.New("cache", 1)
+	sh := graph.Shape{N: 1, C: 16, H: 28, W: 28}
+	in := g.Add(graph.Layer{Name: "in", Kind: graph.Input, Out: sh})
+	a := g.Add(graph.Layer{Name: "a", Kind: graph.Conv, Deps: []graph.Dep{{Producer: in}},
+		Out: sh, K: graph.Kernel{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1},
+		WeightBytes: 16 * 16 * 9, Ops: 2 * 16 * 16 * 9 * 28 * 28})
+	g.Add(graph.Layer{Name: "b", Kind: graph.Conv, Deps: []graph.Dep{{Producer: a}},
+		Out: sh, K: graph.Kernel{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1},
+		WeightBytes: 16 * 16 * 9, Ops: 2 * 16 * 16 * 9 * 28 * 28})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Parse(g, core.DefaultEncoding(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, coresched.New(hw.Edge())
+}
+
+// TestCacheMatchesFreshEvaluation is the cache-correctness check: a cached
+// result must be identical to a fresh evaluation of the same schedule.
+func TestCacheMatchesFreshEvaluation(t *testing.T) {
+	s, cs := cacheTestSchedule(t)
+	c := NewCache(0)
+
+	fresh, err := Evaluate(s, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Evaluate(s, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := c.Evaluate(s.Clone(), cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Metrics{first, cached} {
+		if m.LatencyNS != fresh.LatencyNS || m.EnergyPJ != fresh.EnergyPJ ||
+			m.PeakBufferBytes != fresh.PeakBufferBytes ||
+			m.TotalDRAMBytes != fresh.TotalDRAMBytes ||
+			m.Utilization != fresh.Utilization {
+			t.Fatalf("cached metrics diverge from fresh: %+v vs %+v", m, fresh)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("expected 1 hit / 1 miss, got %+v", st)
+	}
+
+	// Mutating a returned value must not poison later lookups.
+	cached.LatencyNS = -1
+	again, err := c.Evaluate(s, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.LatencyNS != fresh.LatencyNS {
+		t.Fatal("cache returned an aliased, mutated value")
+	}
+}
+
+func TestCacheKeyIncludesBudget(t *testing.T) {
+	s, cs := cacheTestSchedule(t)
+	c := NewCache(0)
+	full, err := c.Evaluate(s, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := c.Evaluate(s, cs, Options{BufferBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.BufferOK || tiny.BufferOK {
+		t.Fatalf("budget must decide feasibility: full=%v tiny=%v", full.BufferOK, tiny.BufferOK)
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("different budgets must be distinct entries: %+v", st)
+	}
+}
+
+func TestCacheTraceBypassAndFlush(t *testing.T) {
+	s, cs := cacheTestSchedule(t)
+	c := NewCache(1)
+	if _, err := c.Evaluate(s, cs, Options{Trace: true}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits+st.Misses != 0 {
+		t.Fatalf("traced evaluations must bypass the cache: %+v", st)
+	}
+
+	// Capacity 1: the second distinct key flushes the first.
+	if _, err := c.Evaluate(s, cs, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Evaluate(s, cs, Options{BufferBudget: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Flushes == 0 || st.Entries != 1 {
+		t.Fatalf("expected an epoch flush at capacity: %+v", st)
+	}
+}
+
+func TestCacheConcurrentEvaluate(t *testing.T) {
+	s, cs := cacheTestSchedule(t)
+	c := NewCache(0)
+	want, err := Evaluate(s, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m, err := c.Evaluate(s, cs, Options{})
+				if err != nil || m.LatencyNS != want.LatencyNS {
+					t.Errorf("concurrent evaluate diverged: %v %v", m, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Hits+st.Misses != 400 || st.Hits <= 0 {
+		t.Fatalf("unexpected counters: %+v", st)
+	}
+}
+
+func TestNilCacheDelegates(t *testing.T) {
+	s, cs := cacheTestSchedule(t)
+	var c *Cache
+	m, err := c.Evaluate(s, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LatencyNS <= 0 || math.IsInf(m.LatencyNS, 1) {
+		t.Fatalf("latency = %g", m.LatencyNS)
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats must be zero: %+v", st)
+	}
+}

@@ -1,19 +1,3 @@
-// Package sim is the paper's accurate evaluator (Sec. V-D): it replays a
-// parsed schedule on two serial resources - the DRAM channel, which executes
-// the DRAM tensors in DRAM Tensor Order, and the compute pipeline, which
-// executes the tiles in sequence - enforcing exactly the start conditions the
-// paper defines:
-//
-//   - a DRAM tensor starts when its predecessor in the DRAM Tensor Order has
-//     finished; loads additionally wait until every tile before their Living
-//     Duration Start has completed (and, for reloaded fmaps, until the
-//     producer's stores finished); stores wait for their producing tile;
-//   - a computing tile starts when all its loads have finished and every
-//     store with End <= tile has finished.
-//
-// The evaluator reports latency, the energy breakdown (core array vs DRAM),
-// both resources' busy times, buffer occupancy statistics and the
-// theoretical maximum utilization bound used as Fig. 6's blue diamonds.
 package sim
 
 import (

@@ -46,6 +46,14 @@ type Params struct {
 	// Patience stops the allocator after this many consecutive
 	// non-improving iterations (the paper stops after 2).
 	Patience int
+	// Chains is the portfolio width: every annealing stage runs Chains
+	// independently seeded chains (seed, seed+1, ...) and keeps the best
+	// incumbent. <= 1 is the classic single-chain search.
+	Chains int
+	// Workers bounds the goroutines running portfolio chains. The best
+	// schedule is a pure function of Seed and Chains - Workers only
+	// changes wall-clock time. <= 1 runs the chains serially.
+	Workers int
 	// MinTile is the initial tiling granularity of stage 1's no-fusion
 	// starting solution.
 	MinTile int
@@ -94,7 +102,7 @@ func FastParams() Params {
 type StageResult struct {
 	Metrics *sim.Metrics
 	Cost    float64
-	Stats   sa.Stats
+	Stats   sa.PortfolioStats
 }
 
 // Result is the framework output for one workload/hardware pair.
@@ -110,6 +118,8 @@ type Result struct {
 	AllocIters int
 	// Stage1Budget is the winning stage-1 buffer budget.
 	Stage1Budget int64
+	// Cache is the evaluation-cache counter snapshot for the whole run.
+	Cache sim.CacheStats
 }
 
 // Explorer runs SoMa for one graph on one hardware configuration.
@@ -119,19 +129,29 @@ type Explorer struct {
 	Cfg hw.Config
 	Obj Objective
 	Par Params
+	// Cache memoizes full schedule evaluations across stages, chains and
+	// allocator iterations (the core-array scheduler keeps its own
+	// per-tile cache underneath).
+	Cache *sim.Cache
 }
 
-// New builds an explorer. The core-array scheduler cache is shared across
-// all stages and allocator iterations.
+// New builds an explorer. The core-array scheduler cache and the evaluation
+// cache are shared across all stages and allocator iterations.
 func New(g *graph.Graph, cfg hw.Config, obj Objective, par Params) *Explorer {
-	return &Explorer{G: g, CS: coresched.New(cfg), Cfg: cfg, Obj: obj, Par: par}
+	return &Explorer{G: g, CS: coresched.New(cfg), Cfg: cfg, Obj: obj, Par: par,
+		Cache: sim.NewCache(0)}
+}
+
+// portfolio normalizes the Params' portfolio knobs.
+func (e *Explorer) portfolio() sa.PortfolioConfig {
+	return sa.PortfolioConfig{Chains: e.Par.Chains, Workers: e.Par.Workers}
 }
 
 // cost evaluates a schedule under a stage budget, returning +Inf for
 // infeasible or deadlocked candidates together with the metrics when
 // available.
 func (e *Explorer) cost(s *core.Schedule, budget int64) (float64, *sim.Metrics) {
-	m, err := sim.Evaluate(s, e.CS, sim.Options{BufferBudget: budget})
+	m, err := e.Cache.Evaluate(s, e.CS, sim.Options{BufferBudget: budget})
 	if err != nil {
 		return math.Inf(1), nil
 	}
@@ -154,11 +174,13 @@ func (e *Explorer) Run() (*Result, error) {
 	best.AllocIters = 1
 	best.Stage1Budget = full
 	if e.Par.Ablate.NoAllocator {
+		best.Cache = e.Cache.Stats()
 		return best, nil
 	}
 
 	step := int64(e.Par.BufferStepFrac * float64(best.Stage1.Metrics.PeakBufferBytes))
 	if step <= 0 {
+		best.Cache = e.Cache.Stats()
 		return best, nil
 	}
 	bad := 0
@@ -183,6 +205,7 @@ func (e *Explorer) Run() (*Result, error) {
 			break
 		}
 	}
+	best.Cache = e.Cache.Stats()
 	return best, nil
 }
 

@@ -6,13 +6,20 @@ import (
 
 	"soma/internal/core"
 	"soma/internal/sa"
+	"soma/internal/sim"
 )
+
+// encKeyPrefix separates encoding-level cache entries from schedule-level
+// ones (an encoding key is a strict prefix of its schedules' keys).
+const encKeyPrefix = "enc:"
 
 // RunStage1 anneals the LFA (Sec. V-C1). The initial solution is the
 // no-fusion encoding (every layer its own FLG and LG) at minimum tiling
 // granularity; the DLSA stays the classical double-buffer strategy during
 // this stage. Operators: change computing order, multiply/divide an FLG's
 // tiling number by two, add/delete an FLC, add/delete a DRAM cut.
+// With Params.Chains > 1 the stage runs a portfolio of independently seeded
+// chains and keeps the best incumbent.
 func (e *Explorer) RunStage1(budget int64, seed int64) (*core.Encoding, StageResult, error) {
 	init := InitialEncoding(e.G, e.Cfg, e.Par.MinTile)
 	iters := e.Par.Beta1 * len(init.Order)
@@ -20,27 +27,43 @@ func (e *Explorer) RunStage1(budget int64, seed int64) (*core.Encoding, StageRes
 		iters = e.Par.Stage1MaxIters
 	}
 
+	// Keyed on the encoding so cache hits skip the parse as well as the
+	// evaluation. Every revisited LFA point - re-proposed moves, the
+	// shared initial solution of a portfolio, the winner's re-evaluation
+	// below - costs one map lookup.
+	evalEnc := func(enc *core.Encoding) (*sim.Metrics, error) {
+		return e.Cache.Memoize(sim.Key(encKeyPrefix+enc.CanonicalKey(), budget),
+			func() (*sim.Metrics, error) {
+				s, err := core.Parse(e.G, enc)
+				if err != nil {
+					return nil, err
+				}
+				return sim.Evaluate(s, e.CS, sim.Options{BufferBudget: budget})
+			})
+	}
 	costEnc := func(enc *core.Encoding) float64 {
-		s, err := core.Parse(e.G, enc)
-		if err != nil {
+		m, err := evalEnc(enc)
+		if err != nil || !m.BufferOK {
 			return math.Inf(1)
 		}
-		c, _ := e.cost(s, budget)
-		return c
+		return m.Cost(e.Obj.N, e.Obj.M)
 	}
 
 	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed}
-	best, bestCost, stats := sa.Run(cfg, init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
+	best, bestCost, stats := sa.RunPortfolio(cfg, e.portfolio(), init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
 		return e.mutateLFA(enc, rng)
 	})
 	if math.IsInf(bestCost, 1) {
 		return nil, StageResult{}, ErrNoFeasible
 	}
-	s, err := core.Parse(e.G, best)
+	m, err := evalEnc(best)
 	if err != nil {
 		return nil, StageResult{}, err
 	}
-	c, m := e.cost(s, budget)
+	c := math.Inf(1)
+	if m.BufferOK {
+		c = m.Cost(e.Obj.N, e.Obj.M)
+	}
 	return best, StageResult{Metrics: m, Cost: c, Stats: stats}, nil
 }
 

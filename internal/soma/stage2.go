@@ -24,17 +24,18 @@ func (e *Explorer) RunStage2(sched *core.Schedule, seed int64) (*core.Schedule, 
 	picker := newSizePicker(sched)
 
 	// Stage 2 never changes the tiles, so their costs are evaluated once
-	// and reused across every candidate DLSA.
+	// and reused across every candidate DLSA; the evaluation cache then
+	// short-circuits revisited DLSA points entirely.
 	tc := sim.PrecomputeTileCosts(sched, e.CS)
 	costS := func(s *core.Schedule) float64 {
-		m, err := sim.Evaluate(s, e.CS, sim.Options{BufferBudget: e.Cfg.GBufBytes, TileCosts: tc})
+		m, err := e.Cache.Evaluate(s, e.CS, sim.Options{BufferBudget: e.Cfg.GBufBytes, TileCosts: tc})
 		if err != nil || !m.BufferOK {
 			return math.Inf(1)
 		}
 		return m.Cost(e.Obj.N, e.Obj.M)
 	}
 	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed + 7919}
-	best, bestCost, stats := sa.Run(cfg, sched, costS, func(s *core.Schedule, rng *rand.Rand) (*core.Schedule, bool) {
+	best, bestCost, stats := sa.RunPortfolio(cfg, e.portfolio(), sched, costS, func(s *core.Schedule, rng *rand.Rand) (*core.Schedule, bool) {
 		c := s.Clone()
 		return c, mutateDLSA(c, picker, rng)
 	})

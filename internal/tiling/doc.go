@@ -1,0 +1,21 @@
+// Package tiling implements the computing-granularity machinery behind the
+// Tiling Number attribute of the Tensor-centric Notation (paper Sec. IV-A1).
+//
+// A Fine-grained Layer-fusion Group (FLG) executes depth-first: every layer
+// of the group is split into the FLG's Tiling Number of tiles - batch
+// dimension first, then ofmap height and width, kept as equal as possible -
+// and the tiles interleave across layers. Producing one output tile of the
+// last layer requires a backward-propagated input region through every
+// convolution/pooling kernel in the group, so tile regions overlap by the
+// kernel halos; that backtracking (recompute-free halo overlap) cost is the
+// price of fusion the stage-1 search trades against DRAM traffic. The
+// propagation method is adopted from Cocco and DeFiNES, the fusion baselines
+// of Sec. VI.
+//
+// The channel axis is never split: splitting C would break fusion across
+// more than two layers (Sec. IV-A1).
+//
+// Plan is the per-FLG product: for each layer, the computed region and the
+// owned (non-overlapping) region of every tile. core.Parse consumes Plans to
+// emit the global tile sequence the evaluator replays.
+package tiling

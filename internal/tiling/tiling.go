@@ -1,10 +1,3 @@
-// Package tiling implements the computing-granularity machinery behind the
-// Tiling Number attribute (paper Sec. IV-A1): splitting every layer of a
-// Fine-grained Layer-fusion Group (FLG) into tiles - batch dimension first,
-// then ofmap height and width, kept as equal as possible - and propagating
-// tile regions backwards through convolution/pooling kernels so that the
-// backtracking halo overlap cost of depth-first fusion is accounted for
-// (the method adopted from Cocco and DeFiNES).
 package tiling
 
 import (

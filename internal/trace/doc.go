@@ -1,0 +1,19 @@
+// Package trace renders DRAM-COMPUTE execution graphs - the schedule
+// diagrams of the paper's Fig. 2, Fig. 4 and Fig. 8 - as ASCII timelines.
+//
+// A rendering consumes a parsed schedule plus a traced evaluation
+// (sim.Options.Trace) and draws:
+//
+//   - a COMPUTE row of tile blocks, one glyph run per computing tile;
+//   - a DRAM row of load/store blocks in DRAM Tensor Order, which makes
+//     prefetching (loads issued before their consuming tile) and delayed
+//     storing (stores issued after their producing tile) visible as overlap
+//     between the two rows;
+//   - a BUFFER occupancy sparkline tracking GBUF usage over time;
+//   - the fusion structure: FLC positions, DRAM cuts and tiling numbers of
+//     the underlying encoding.
+//
+// Comparing the Cocco, stage-1 and stage-2 renderings of one workload
+// (somabench fig8) reproduces the paper's qualitative argument: stage 1
+// balances the two resource rows, stage 2 closes the remaining idle gaps.
+package trace

@@ -1,8 +1,3 @@
-// Package trace renders DRAM-COMPUTE execution graphs (the diagrams of the
-// paper's Fig. 2, 4 and 8) as ASCII timelines: a COMPUTE row of tile blocks,
-// a DRAM row of load/store blocks, a BUFFER occupancy sparkline, and the
-// fusion structure (FLCs, DRAM cuts, tiling numbers). It consumes a schedule
-// plus a traced evaluation.
 package trace
 
 import (
