@@ -48,6 +48,7 @@ func main() {
 	objM := flag.Float64("delay-exp", 1, "objective exponent m in Energy^n x Delay^m")
 	irOut := flag.String("ir", "", "write the lowered instruction stream to this file")
 	showTrace := flag.Bool("trace", false, "print the execution graph")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable result payload (same schema as the somad API) instead of the human report")
 	flag.Parse()
 
 	cfg, err := exp.Platform(*hwName)
@@ -64,16 +65,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var par soma.Params
-	switch *profile {
-	case "fast":
-		par = soma.FastParams()
-	case "default":
-		par = soma.DefaultParams()
-	case "paper":
-		par = soma.PaperParams()
-	default:
-		fatal(fmt.Errorf("unknown profile %q", *profile))
+	par, err := soma.ProfileParams(*profile)
+	if err != nil {
+		fatal(err)
 	}
 	par.Seed = *seed
 	par.Chains = *chains
@@ -86,12 +80,17 @@ func main() {
 		par.Stage2MaxIters = 1 << 20
 	}
 	obj := soma.Objective{N: *objN, M: *objM}
+	spec := report.Spec{Model: *model, Batch: *batch, HW: *hwName,
+		Framework: *framework, Seed: *seed, Obj: report.Objective{N: *objN, M: *objM}}
 
-	fmt.Printf("workload: %s", g.Summary())
-	fmt.Printf("hardware: %s\n", cfg.String())
+	if !*jsonOut {
+		fmt.Printf("workload: %s", g.Summary())
+		fmt.Printf("hardware: %s\n", cfg.String())
+	}
 
 	var sched *core.Schedule
 	var metrics *sim.Metrics
+	var payload *report.Result
 	switch *framework {
 	case "cocco":
 		res, err := cocco.New(g, cfg, obj, par).Run()
@@ -99,43 +98,41 @@ func main() {
 			fatal(err)
 		}
 		sched, metrics = res.Schedule, res.Metrics
+		payload = report.FromCocco(spec, cfg, res)
 	case "soma":
 		res, err := soma.New(g, cfg, obj, par).Run()
 		if err != nil {
 			fatal(err)
 		}
 		sched, metrics = res.Schedule, res.Stage2.Metrics
-		fmt.Printf("buffer allocator: %d iterations, stage-1 budget %s\n",
-			res.AllocIters, report.MB(res.Stage1Budget))
-		if st := res.Stage2.Stats; st.Chains > 1 {
-			fmt.Printf("portfolio: %d chains on %d workers, stage-2 winner chain %d\n",
-				st.Chains, st.Workers, st.BestChain)
+		payload = report.FromSoma(spec, cfg, res)
+		if !*jsonOut {
+			fmt.Printf("buffer allocator: %d iterations, stage-1 budget %s\n",
+				res.AllocIters, report.MB(res.Stage1Budget))
+			if st := res.Stage2.Stats; st.Chains > 1 {
+				fmt.Printf("portfolio: %d chains on %d workers, stage-2 winner chain %d\n",
+					st.Chains, st.Workers, st.BestChain)
+			}
+			fmt.Printf("eval cache: %s hit rate, %d entries\n",
+				report.HitRate(res.Cache.Hits, res.Cache.Misses), res.Cache.Entries)
+			fmt.Printf("stage 1: latency %s, energy %.3f mJ\n",
+				report.Ms(res.Stage1.Metrics.LatencyNS), res.Stage1.Metrics.EnergyPJ/1e9)
 		}
-		fmt.Printf("eval cache: %s hit rate, %d entries\n",
-			report.HitRate(res.Cache.Hits, res.Cache.Misses), res.Cache.Entries)
-		fmt.Printf("stage 1: latency %s, energy %.3f mJ\n",
-			report.Ms(res.Stage1.Metrics.LatencyNS), res.Stage1.Metrics.EnergyPJ/1e9)
 	default:
 		fatal(fmt.Errorf("unknown framework %q", *framework))
 	}
 
-	t := report.New("schedule report", "metric", "value")
-	t.Add("latency", report.Ms(metrics.LatencyNS))
-	t.Add("energy", fmt.Sprintf("%.3f mJ", metrics.EnergyPJ/1e9))
-	t.Add("  core array", fmt.Sprintf("%.3f mJ", metrics.CoreEnergyPJ/1e9))
-	t.Add("  dram", fmt.Sprintf("%.3f mJ", metrics.DRAMEnergyPJ/1e9))
-	t.Add("compute utilization", report.Pct(metrics.Utilization))
-	t.Add("theoretical max util", report.Pct(metrics.TheoreticalMaxUtil))
-	t.Add("dram busy", report.Pct(metrics.DRAMUtilization))
-	t.Add("dram traffic", report.MB(metrics.TotalDRAMBytes))
-	t.Add("peak buffer", report.MB(metrics.PeakBufferBytes))
-	t.Add("avg buffer", fmt.Sprintf("%.2fMB", metrics.AvgBufferBytes/(1<<20)))
-	st := sched.Summarize()
-	t.Add("LGs / FLGs", fmt.Sprintf("%d / %d", st.LGs, st.FLGs))
-	t.Add("tiles / DRAM tensors", fmt.Sprintf("%d / %d", st.Tiles, st.Tensors))
-	fmt.Println(t.String())
+	if *jsonOut {
+		// The exact payload the somad API serves for this run; -trace is
+		// a human-report feature and is skipped, -ir still applies below.
+		if err := payload.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		printReport(sched, metrics)
+	}
 
-	if *showTrace {
+	if *showTrace && !*jsonOut {
 		cs := coresched.New(cfg)
 		m, err := sim.Evaluate(sched, cs, sim.Options{Trace: true})
 		if err != nil {
@@ -157,10 +154,30 @@ func main() {
 		if err := prog.WriteText(f); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("instructions: %d (%d loads, %d stores, %d computes) -> %s\n",
-			len(prog.Instrs), prog.Counts()[isa.Load], prog.Counts()[isa.Store],
-			prog.Counts()[isa.Compute], *irOut)
+		if !*jsonOut {
+			fmt.Printf("instructions: %d (%d loads, %d stores, %d computes) -> %s\n",
+				len(prog.Instrs), prog.Counts()[isa.Load], prog.Counts()[isa.Store],
+				prog.Counts()[isa.Compute], *irOut)
+		}
 	}
+}
+
+func printReport(sched *core.Schedule, metrics *sim.Metrics) {
+	t := report.New("schedule report", "metric", "value")
+	t.Add("latency", report.Ms(metrics.LatencyNS))
+	t.Add("energy", fmt.Sprintf("%.3f mJ", metrics.EnergyPJ/1e9))
+	t.Add("  core array", fmt.Sprintf("%.3f mJ", metrics.CoreEnergyPJ/1e9))
+	t.Add("  dram", fmt.Sprintf("%.3f mJ", metrics.DRAMEnergyPJ/1e9))
+	t.Add("compute utilization", report.Pct(metrics.Utilization))
+	t.Add("theoretical max util", report.Pct(metrics.TheoreticalMaxUtil))
+	t.Add("dram busy", report.Pct(metrics.DRAMUtilization))
+	t.Add("dram traffic", report.MB(metrics.TotalDRAMBytes))
+	t.Add("peak buffer", report.MB(metrics.PeakBufferBytes))
+	t.Add("avg buffer", fmt.Sprintf("%.2fMB", metrics.AvgBufferBytes/(1<<20)))
+	st := sched.Summarize()
+	t.Add("LGs / FLGs", fmt.Sprintf("%d / %d", st.LGs, st.FLGs))
+	t.Add("tiles / DRAM tensors", fmt.Sprintf("%d / %d", st.Tiles, st.Tensors))
+	fmt.Println(t.String())
 }
 
 func fatal(err error) {

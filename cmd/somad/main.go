@@ -1,0 +1,84 @@
+// Command somad serves SoMa scheduling as a service: an HTTP JSON API over a
+// bounded async job queue, with cancellable searches and one process-wide
+// evaluation cache shared across requests. See docs/api.md for the endpoint
+// contract.
+//
+// Examples:
+//
+//	somad                                   # listen on :8080, 1 worker
+//	somad -addr 127.0.0.1:9000 -workers 4
+//	somad -cache-entries 1048576            # bigger shared eval cache
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"model":"resnet50","batch":1,"hw":"edge","params":{"profile":"fast"}}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"soma/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 1, "concurrent search jobs")
+	queue := flag.Int("queue", 64, "max queued jobs before submits get 503")
+	cacheEntries := flag.Int("cache-entries", 0, "shared evaluation cache capacity (0 = default)")
+	maxJobs := flag.Int("max-jobs", 0, "job-table retention bound; oldest finished jobs are evicted beyond it (0 = default)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		MaxJobs:      *maxJobs,
+	})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("somad listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("somad: shutting down (drain %s)", *drain)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Cancel jobs first: that unblocks ?wait=1 handlers, so the HTTP
+	// drain below completes instead of riding out the whole timeout.
+	svc.Stop()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("somad: http shutdown: %v", err)
+	}
+	// Wait for the worker pool to notice the cancellations and exit.
+	if err := svc.Shutdown(dctx); err != nil {
+		log.Printf("somad: job drain: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "somad:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@
 package cocco
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -46,6 +47,12 @@ func New(g *graph.Graph, cfg hw.Config, obj soma.Objective, par soma.Params) *Ex
 
 // Run anneals order + DRAM cuts and returns the best baseline schedule.
 func (e *Explorer) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation; a canceled search returns
+// ctx.Err() so a serving layer can distinguish it from an infeasible one.
+func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 	init := core.DefaultEncoding(e.G, 1)
 	e.applyHeuristicTiling(init)
 	iters := e.Par.Beta1 * len(init.Order)
@@ -66,9 +73,12 @@ func (e *Explorer) Run() (*Result, error) {
 	}
 
 	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: e.Par.Seed}
-	best, bestCost, stats := sa.Run(cfg, init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
+	best, bestCost, stats := sa.RunCtx(ctx, cfg, init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
 		return e.mutate(enc, rng)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if math.IsInf(bestCost, 1) {
 		return nil, soma.ErrNoFeasible
 	}

@@ -22,16 +22,31 @@ import (
 	"soma/internal/soma"
 )
 
+// platforms is the single registry behind Platform and Platforms, so the
+// CLI flag parser and the somad /v1/hw enumeration cannot drift apart.
+var platforms = map[string]func() hw.Config{
+	"edge":  hw.Edge,
+	"cloud": hw.Cloud,
+}
+
+// Platforms lists the named hardware presets Platform accepts, in sorted
+// order (the somad /v1/hw registry endpoint enumerates these).
+func Platforms() []string {
+	names := make([]string, 0, len(platforms))
+	for name := range platforms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Platform returns the named hardware preset.
 func Platform(name string) (hw.Config, error) {
-	switch name {
-	case "edge":
-		return hw.Edge(), nil
-	case "cloud":
-		return hw.Cloud(), nil
-	default:
-		return hw.Config{}, fmt.Errorf("exp: unknown platform %q (edge|cloud)", name)
+	build, ok := platforms[name]
+	if !ok {
+		return hw.Config{}, fmt.Errorf("exp: unknown platform %q (%v)", name, Platforms())
 	}
+	return build(), nil
 }
 
 // Workloads returns the paper's Fig. 6 workload list for a platform (GPT-2

@@ -1,0 +1,192 @@
+package report
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+
+	"soma/internal/cocco"
+	"soma/internal/core"
+	"soma/internal/hw"
+	"soma/internal/sim"
+	"soma/internal/soma"
+)
+
+// Result is the machine-readable schedule payload shared by `soma -json` and
+// the somad HTTP API (docs/api.md). Both render this exact struct through
+// encoding/json, so a fixed-seed run returns byte-identical cost and encoding
+// over either path - scripts never need to scrape the human tables.
+type Result struct {
+	Workload  Workload  `json:"workload"`
+	Hardware  Hardware  `json:"hardware"`
+	Objective Objective `json:"objective"`
+	// Framework is the scheduler that produced the result: soma|cocco.
+	Framework string `json:"framework"`
+	Seed      int64  `json:"seed"`
+	// Cost is the objective value Energy^n x Delay^m of the winner.
+	Cost float64 `json:"cost"`
+	// EncodingKey is the winning LFA's canonical key
+	// (core.Encoding.CanonicalKey), hex-encoded; EncodingSHA256 /
+	// ScheduleSHA256 digest the canonical encoding and full-schedule keys
+	// so byte-identity across runs is a string compare.
+	EncodingKey    string `json:"encoding_key"`
+	EncodingSHA256 string `json:"encoding_sha256"`
+	ScheduleSHA256 string `json:"schedule_sha256"`
+
+	Metrics  Metrics  `json:"metrics"`
+	Schedule Schedule `json:"schedule"`
+	// Search carries SoMa-specific search statistics (absent for cocco).
+	Search *Search `json:"search,omitempty"`
+}
+
+// Workload identifies the scheduled model instance.
+type Workload struct {
+	Model string `json:"model"`
+	Batch int    `json:"batch"`
+}
+
+// Hardware identifies the platform the schedule was evaluated on.
+type Hardware struct {
+	Name string `json:"name"`
+	// Description is hw.Config.String(): cores, TOPS, GBUF, DRAM.
+	Description string `json:"description"`
+	GBufBytes   int64  `json:"gbuf_bytes"`
+	// DRAMBandwidth is bytes per nanosecond (== GB/s).
+	DRAMBandwidth float64 `json:"dram_gbps"`
+}
+
+// Objective is the optimization goal Energy^N x Delay^M.
+type Objective struct {
+	N float64 `json:"n"`
+	M float64 `json:"m"`
+}
+
+// Metrics mirrors sim.Metrics in explicit units.
+type Metrics struct {
+	LatencyNS          float64 `json:"latency_ns"`
+	EnergyPJ           float64 `json:"energy_pj"`
+	CoreEnergyPJ       float64 `json:"core_energy_pj"`
+	DRAMEnergyPJ       float64 `json:"dram_energy_pj"`
+	Utilization        float64 `json:"utilization"`
+	TheoreticalMaxUtil float64 `json:"theoretical_max_util"`
+	DRAMUtilization    float64 `json:"dram_utilization"`
+	TotalDRAMBytes     int64   `json:"total_dram_bytes"`
+	PeakBufferBytes    int64   `json:"peak_buffer_bytes"`
+	AvgBufferBytes     float64 `json:"avg_buffer_bytes"`
+}
+
+// Schedule summarizes the fusion structure (core.Stats).
+type Schedule struct {
+	LGs     int `json:"lgs"`
+	FLGs    int `json:"flgs"`
+	Tiles   int `json:"tiles"`
+	Tensors int `json:"dram_tensors"`
+}
+
+// Search reports how the SoMa two-stage exploration behaved.
+type Search struct {
+	AllocIters       int     `json:"alloc_iters"`
+	Stage1Budget     int64   `json:"stage1_budget_bytes"`
+	Stage1Cost       float64 `json:"stage1_cost"`
+	Stage2Cost       float64 `json:"stage2_cost"`
+	Chains           int     `json:"chains"`
+	Workers          int     `json:"workers"`
+	BestChain        int     `json:"best_chain"`
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	CacheEntries     int     `json:"cache_entries"`
+	CacheGenerations int64   `json:"cache_generations"`
+}
+
+// Spec names one run for the payload header; the service fills it from the
+// job request, the CLI from its flags.
+type Spec struct {
+	Model     string
+	Batch     int
+	HW        string
+	Framework string
+	Seed      int64
+	Obj       Objective
+}
+
+func sha(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(h[:])
+}
+
+func jsonMetrics(m *sim.Metrics) Metrics {
+	if m == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		LatencyNS:          m.LatencyNS,
+		EnergyPJ:           m.EnergyPJ,
+		CoreEnergyPJ:       m.CoreEnergyPJ,
+		DRAMEnergyPJ:       m.DRAMEnergyPJ,
+		Utilization:        m.Utilization,
+		TheoreticalMaxUtil: m.TheoreticalMaxUtil,
+		DRAMUtilization:    m.DRAMUtilization,
+		TotalDRAMBytes:     m.TotalDRAMBytes,
+		PeakBufferBytes:    m.PeakBufferBytes,
+		AvgBufferBytes:     m.AvgBufferBytes,
+	}
+}
+
+func jsonSchedule(s *core.Schedule) Schedule {
+	st := s.Summarize()
+	return Schedule{LGs: st.LGs, FLGs: st.FLGs, Tiles: st.Tiles, Tensors: st.Tensors}
+}
+
+func jsonHeader(spec Spec, cfg hw.Config, enc *core.Encoding, sched *core.Schedule) Result {
+	encKey := enc.CanonicalKey()
+	return Result{
+		Workload: Workload{Model: spec.Model, Batch: spec.Batch},
+		Hardware: Hardware{Name: spec.HW, Description: cfg.String(),
+			GBufBytes: cfg.GBufBytes, DRAMBandwidth: cfg.DRAMBandwidth},
+		Objective:      spec.Obj,
+		Framework:      spec.Framework,
+		Seed:           spec.Seed,
+		EncodingKey:    hex.EncodeToString([]byte(encKey)),
+		EncodingSHA256: sha(encKey),
+		ScheduleSHA256: sha(sched.CanonicalKey()),
+		Schedule:       jsonSchedule(sched),
+	}
+}
+
+// FromSoma builds the payload for a SoMa exploration result.
+func FromSoma(spec Spec, cfg hw.Config, res *soma.Result) *Result {
+	r := jsonHeader(spec, cfg, res.Encoding, res.Schedule)
+	r.Cost = res.Cost
+	r.Metrics = jsonMetrics(res.Stage2.Metrics)
+	r.Search = &Search{
+		AllocIters:       res.AllocIters,
+		Stage1Budget:     res.Stage1Budget,
+		Stage1Cost:       res.Stage1.Cost,
+		Stage2Cost:       res.Stage2.Cost,
+		Chains:           res.Stage2.Stats.Chains,
+		Workers:          res.Stage2.Stats.Workers,
+		BestChain:        res.Stage2.Stats.BestChain,
+		CacheHits:        res.Cache.Hits,
+		CacheMisses:      res.Cache.Misses,
+		CacheEntries:     res.Cache.Entries,
+		CacheGenerations: res.Cache.Flushes,
+	}
+	return &r
+}
+
+// FromCocco builds the payload for a Cocco baseline result.
+func FromCocco(spec Spec, cfg hw.Config, res *cocco.Result) *Result {
+	r := jsonHeader(spec, cfg, res.Encoding, res.Schedule)
+	r.Cost = res.Cost
+	r.Metrics = jsonMetrics(res.Metrics)
+	return &r
+}
+
+// WriteJSON emits the payload as indented JSON, the exact bytes the somad
+// API serves for the same run.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,6 +1,7 @@
 package sa
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 )
@@ -62,10 +63,20 @@ type PortfolioStats struct {
 // shared state without synchronization).
 func RunPortfolio[S any](cfg Config, pf PortfolioConfig, init S, cost func(S) float64,
 	neighbor func(S, *rand.Rand) (S, bool)) (S, float64, PortfolioStats) {
+	return RunPortfolioCtx(context.Background(), cfg, pf, init, cost, neighbor)
+}
+
+// RunPortfolioCtx is RunPortfolio with cooperative cancellation: ctx is
+// shared by every chain, so canceling it stops the whole portfolio within
+// cancelCheckEvery iterations per chain. The best state seen across the
+// chains that did run is still returned; callers check ctx.Err() to tell a
+// canceled portfolio from a converged one.
+func RunPortfolioCtx[S any](ctx context.Context, cfg Config, pf PortfolioConfig, init S,
+	cost func(S) float64, neighbor func(S, *rand.Rand) (S, bool)) (S, float64, PortfolioStats) {
 
 	pf = pf.normalized()
 	if pf.Chains == 1 {
-		best, bestCost, st := Run(cfg, init, cost, neighbor)
+		best, bestCost, st := RunCtx(ctx, cfg, init, cost, neighbor)
 		return best, bestCost, PortfolioStats{
 			Total: st, Chains: 1, Workers: 1, PerChain: []Stats{st}}
 	}
@@ -86,7 +97,7 @@ func RunPortfolio[S any](cfg Config, pf PortfolioConfig, init S, cost func(S) fl
 			defer func() { <-sem }()
 			chainCfg := cfg
 			chainCfg.Seed = cfg.Seed + int64(c)
-			best, bc, st := Run(chainCfg, init, cost, neighbor)
+			best, bc, st := RunCtx(ctx, chainCfg, init, cost, neighbor)
 			results[c] = outcome{best: best, cost: bc, st: st}
 		}(c)
 	}

@@ -1,6 +1,7 @@
 package sa
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -52,6 +53,20 @@ func Temperature(t0, alpha float64, n, total int) float64 {
 // not mutate its argument.
 func Run[S any](cfg Config, init S, cost func(S) float64,
 	neighbor func(S, *rand.Rand) (S, bool)) (S, float64, Stats) {
+	return RunCtx(context.Background(), cfg, init, cost, neighbor)
+}
+
+// cancelCheckEvery is how many iterations pass between context polls: rare
+// enough to stay off the hot path, frequent enough that cancellation lands
+// within a handful of schedule evaluations.
+const cancelCheckEvery = 32
+
+// RunCtx is Run with cooperative cancellation: when ctx is canceled the loop
+// stops within cancelCheckEvery iterations and returns the best state seen so
+// far. Callers that must distinguish a canceled run from a converged one
+// check ctx.Err() after RunCtx returns (the annealer itself never fails).
+func RunCtx[S any](ctx context.Context, cfg Config, init S, cost func(S) float64,
+	neighbor func(S, *rand.Rand) (S, bool)) (S, float64, Stats) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	cur, curCost := init, cost(init)
@@ -66,6 +81,9 @@ func Run[S any](cfg Config, init S, cost func(S) float64,
 	post := cfg.PostIters
 
 	for n := 0; n < cfg.Iters; n++ {
+		if n%cancelCheckEvery == 0 && ctx.Err() != nil {
+			break
+		}
 		if !deadline.IsZero() && !improveOnly && n%64 == 0 && time.Now().After(deadline) {
 			improveOnly = true
 		}

@@ -1,6 +1,7 @@
 package sa
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -124,4 +125,51 @@ func TestRunDeadlineImproveOnly(t *testing.T) {
 		t.Fatal("ran the full budget despite deadline")
 	}
 	_ = worsenings
+}
+
+// TestRunCtxCancellation: a canceled context stops the annealer within
+// cancelCheckEvery iterations, and the incumbent found so far is returned.
+func TestRunCtxCancellation(t *testing.T) {
+	cost := func(s int) float64 { return float64(s) }
+	neighbor := func(s int, rng *rand.Rand) (int, bool) { return s - 1, true }
+
+	// Pre-canceled: stops at the first check, before any move.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	best, _, st := RunCtx(ctx, DefaultConfig(1<<20, 1), 0, cost, neighbor)
+	if st.Iterations != 0 {
+		t.Fatalf("pre-canceled run iterated %d times", st.Iterations)
+	}
+	if best != 0 {
+		t.Fatalf("pre-canceled run moved off the initial state: %d", best)
+	}
+
+	// Canceled mid-run: the neighbor cancels after a fixed number of
+	// proposals, so the loop must stop within one check interval.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	cancelAt := func(s int, rng *rand.Rand) (int, bool) {
+		calls++
+		if calls == 10 {
+			cancel()
+		}
+		return s - 1, true
+	}
+	_, _, st = RunCtx(ctx, DefaultConfig(1<<20, 1), 0, cost, cancelAt)
+	if st.Iterations >= 10+2*cancelCheckEvery {
+		t.Fatalf("cancellation took %d iterations to land", st.Iterations)
+	}
+	if st.Iterations < 10 {
+		t.Fatalf("run stopped before cancel: %d iterations", st.Iterations)
+	}
+
+	// RunPortfolioCtx shares the context across chains: every chain stops.
+	ctx, cancel = context.WithCancel(context.Background())
+	cancel()
+	_, _, pst := RunPortfolioCtx(ctx, DefaultConfig(1<<20, 1),
+		PortfolioConfig{Chains: 4, Workers: 2}, 0, cost, neighbor)
+	if pst.Total.Iterations != 0 {
+		t.Fatalf("canceled portfolio iterated %d times", pst.Total.Iterations)
+	}
 }

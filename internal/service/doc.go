@@ -1,0 +1,19 @@
+// Package service turns the one-shot SoMa search into a long-running
+// scheduling service: cmd/somad wraps it in an HTTP binary.
+//
+// A Server owns three pieces:
+//
+//   - an in-memory job Store whose jobs move strictly through
+//     queued -> running -> {done, failed, canceled};
+//   - a bounded FIFO queue drained by a fixed pool of workers, each running
+//     one soma.Explorer (or cocco baseline) job under a per-job
+//     context.Context, so DELETE /v1/jobs/{id}, a ?wait=1 client disconnect,
+//     and server shutdown all stop the annealer mid-chain;
+//   - one process-wide sim.Cache shared by every job, so repeated
+//     (model, hw, budget) evaluations across requests hit warm entries the
+//     way a warm solver amortizes setup across constrained-search queries.
+//
+// Results are report.Result payloads - the same struct `soma -json` prints -
+// so a fixed-seed job returns byte-identical cost and encoding over HTTP and
+// over the CLI. The endpoint contract is documented in docs/api.md.
+package service

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"soma/internal/exp"
+	"soma/internal/models"
+	"soma/internal/report"
+	"soma/internal/soma"
+)
+
+// State is a job's lifecycle position. Transitions are strictly
+// queued -> running -> {done, failed, canceled}, except that a queued job may
+// jump straight to canceled (deleted before a worker picked it up).
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transition can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Request is the POST /v1/jobs body: which workload to schedule on which
+// platform, under what objective and search parameters. Zero values select
+// the CLI defaults, so {"model":"resnet50","batch":1,"hw":"edge"} is a
+// complete request.
+type Request struct {
+	Model string `json:"model"`
+	Batch int    `json:"batch"`
+	HW    string `json:"hw"`
+	// Framework picks the scheduler: soma (default) or cocco.
+	Framework string `json:"framework,omitempty"`
+	// Objective defaults to EDP (n = m = 1).
+	Objective *report.Objective `json:"objective,omitempty"`
+	Params    *ParamsRequest    `json:"params,omitempty"`
+}
+
+// ParamsRequest overrides individual search hyper-parameters on top of the
+// named profile, mirroring the cmd/soma flags.
+type ParamsRequest struct {
+	// Profile is fast|default|paper (default: default).
+	Profile string `json:"profile,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	Chains  int    `json:"chains,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	Beta1   int    `json:"beta1,omitempty"`
+	Beta2   int    `json:"beta2,omitempty"`
+}
+
+// normalize fills defaults and validates the request against the model and
+// hardware registries, returning the resolved run inputs. It is called at
+// submit time so bad requests fail with 400 instead of a failed job.
+func (r *Request) normalize() (spec report.Spec, par soma.Params, err error) {
+	if r.Batch == 0 {
+		r.Batch = 1
+	}
+	if r.Model == "" || !knownModel(r.Model) {
+		return spec, par, fmt.Errorf("unknown model %q (GET /v1/models lists them)", r.Model)
+	}
+	if r.Batch < 0 {
+		return spec, par, fmt.Errorf("batch must be positive, got %d", r.Batch)
+	}
+	if r.HW == "" {
+		r.HW = "edge"
+	}
+	if _, err := exp.Platform(r.HW); err != nil {
+		return spec, par, fmt.Errorf("unknown hw %q (GET /v1/hw lists them)", r.HW)
+	}
+	switch r.Framework {
+	case "":
+		r.Framework = "soma"
+	case "soma", "cocco":
+	default:
+		return spec, par, fmt.Errorf("unknown framework %q (soma|cocco)", r.Framework)
+	}
+	if r.Objective == nil {
+		r.Objective = &report.Objective{N: 1, M: 1}
+	}
+	p := r.Params
+	if p == nil {
+		p = &ParamsRequest{}
+	}
+	par, err = soma.ProfileParams(p.Profile)
+	if err != nil {
+		return spec, par, err
+	}
+	if p.Seed != 0 {
+		par.Seed = p.Seed
+	}
+	par.Chains = p.Chains
+	par.Workers = p.Workers
+	if p.Beta1 > 0 {
+		par.Beta1 = p.Beta1
+	}
+	if p.Beta2 > 0 {
+		par.Beta2 = p.Beta2
+		par.Stage2MaxIters = 1 << 20
+	}
+	spec = report.Spec{Model: r.Model, Batch: r.Batch, HW: r.HW,
+		Framework: r.Framework, Seed: par.Seed, Obj: *r.Objective}
+	return spec, par, nil
+}
+
+func knownModel(name string) bool {
+	for _, n := range models.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Job is one scheduling request moving through the queue. All fields are
+// guarded by the Store's lock; handlers only ever see View snapshots.
+type Job struct {
+	ID    string
+	State State
+	Req   Request
+	// spec/par are the resolved run inputs (normalize ran at submit).
+	spec report.Spec
+	par  soma.Params
+
+	Result *report.Result
+	Err    string
+
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+
+	// cancel aborts the running search; nil until a worker starts the job.
+	cancel context.CancelFunc
+	// done is closed on the transition into a terminal state, so waiters
+	// (POST ?wait=1, tests) can block without polling.
+	done chan struct{}
+}
+
+// View is the JSON shape of a job served by the API.
+type View struct {
+	ID      string  `json:"id"`
+	State   State   `json:"state"`
+	Request Request `json:"request"`
+	Error   string  `json:"error,omitempty"`
+	// Result is present once State == done.
+	Result     *report.Result `json:"result,omitempty"`
+	CreatedAt  string         `json:"created_at"`
+	StartedAt  string         `json:"started_at,omitempty"`
+	FinishedAt string         `json:"finished_at,omitempty"`
+}
+
+func (j *Job) view() View {
+	v := View{ID: j.ID, State: j.State, Request: j.Req, Error: j.Err,
+		Result: j.Result, CreatedAt: j.Created.UTC().Format(time.RFC3339Nano)}
+	if !j.Started.IsZero() {
+		v.StartedAt = j.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.Finished.IsZero() {
+		v.FinishedAt = j.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	return v
+}

@@ -1,0 +1,362 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"soma/internal/cocco"
+	"soma/internal/exp"
+	"soma/internal/hw"
+	"soma/internal/models"
+	"soma/internal/report"
+	"soma/internal/sim"
+	"soma/internal/soma"
+)
+
+// Config sizes the service. Zero values select the defaults.
+type Config struct {
+	// Workers is the number of concurrent search jobs (default 1: SoMa
+	// itself parallelizes across portfolio chains, so one job per core
+	// group is usually right).
+	Workers int
+	// QueueDepth bounds the FIFO of jobs waiting for a worker; submits
+	// beyond it are rejected with 503 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the shared evaluation cache (default
+	// sim.DefaultCacheEntries).
+	CacheEntries int
+	// MaxJobs bounds the job table; beyond it the oldest terminal jobs
+	// and their results are evicted (default DefaultMaxJobs).
+	MaxJobs int
+}
+
+func (c Config) normalized() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Server is the scheduling service: a job store, a bounded FIFO queue
+// drained by a fixed worker pool, and one process-wide evaluation cache
+// shared by every job, so repeated (model, hw, budget) evaluations across
+// requests are map lookups instead of simulator runs.
+type Server struct {
+	cfg   Config
+	store *Store
+	cache *sim.Cache
+
+	queue chan string
+
+	// base is canceled by Stop/Shutdown, stopping workers and running
+	// jobs; draining additionally rejects new submits with 503.
+	base     context.Context
+	cancel   context.CancelFunc
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	mux *http.ServeMux
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.normalized()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		store:  NewStore(cfg.MaxJobs),
+		cache:  sim.NewCache(cfg.CacheEntries),
+		queue:  make(chan string, cfg.QueueDepth),
+		base:   base,
+		cancel: cancel,
+	}
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP API (see docs/api.md for the endpoint contract).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stop begins draining without waiting: new submits are rejected with 503
+// and every queued or running job is canceled, which also unblocks ?wait=1
+// handlers so an enclosing http.Server.Shutdown can complete. Call it
+// before shutting the HTTP listener down, then Shutdown to wait for the
+// worker pool.
+func (s *Server) Stop() {
+	s.draining.Store(true)
+	s.cancel()
+	s.store.CancelAll()
+}
+
+// Shutdown stops the service (see Stop) and waits for the worker pool to
+// drain, or for ctx to expire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Stop()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker drains the FIFO queue. Each popped job runs under its own cancel
+// context derived from the server's base context, so both DELETE and
+// Shutdown stop the annealer mid-chain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.base.Done():
+			return
+		case id := <-s.queue:
+			s.runJob(id)
+		}
+	}
+}
+
+// runJob executes one job end to end and records its terminal state.
+func (s *Server) runJob(id string) {
+	ctx, cancel := context.WithCancel(s.base)
+	defer cancel()
+	if !s.store.start(id, cancel) {
+		return // canceled while queued
+	}
+	spec, par, ok := s.store.inputs(id)
+	if !ok {
+		return
+	}
+	res, err := s.execute(ctx, spec, par)
+	switch {
+	case err == nil:
+		s.store.finish(id, StateDone, "", func(j *Job) { j.Result = res })
+	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		s.store.finish(id, StateCanceled, "canceled", nil)
+	default:
+		s.store.finish(id, StateFailed, err.Error(), nil)
+	}
+}
+
+// execute resolves the run inputs and performs the search. It is the same
+// flow as cmd/soma, built on the shared report.Spec so both paths emit
+// byte-identical payloads for a fixed seed.
+func (s *Server) execute(ctx context.Context, spec report.Spec, par soma.Params) (*report.Result, error) {
+	cfg, err := exp.Platform(spec.HW)
+	if err != nil {
+		return nil, err
+	}
+	g, err := models.Build(spec.Model, spec.Batch)
+	if err != nil {
+		return nil, err
+	}
+	obj := soma.Objective{N: spec.Obj.N, M: spec.Obj.M}
+	switch spec.Framework {
+	case "cocco":
+		res, err := cocco.New(g, cfg, obj, par).RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return report.FromCocco(spec, cfg, res), nil
+	default:
+		ex := soma.New(g, cfg, obj, par)
+		// Share evaluations across every request. Canonical keys only
+		// identify schedules within one (model, batch, hw) context, so
+		// the scope keeps heterogeneous jobs from colliding in the
+		// shared cache.
+		ex.Cache = s.cache
+		ex.Scope = fmt.Sprintf("%s|%d|%s|", spec.Model, spec.Batch, spec.HW)
+		res, err := ex.RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return report.FromSoma(spec, cfg, res), nil
+	}
+}
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/hw", s.handleHW)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux = mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Stats is the GET /v1/stats payload: queue occupancy, per-state job
+// counts, and the shared evaluation-cache counters.
+type Stats struct {
+	Workers       int            `json:"workers"`
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCapacity int            `json:"queue_capacity"`
+	Jobs          map[State]int  `json:"jobs"`
+	Cache         sim.CacheStats `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Stats{
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Jobs:          s.store.Counts(),
+		Cache:         s.cache.Stats(),
+	})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"models": models.Names()})
+}
+
+// HWInfo is one /v1/hw registry entry.
+type HWInfo struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Cores       int     `json:"cores"`
+	PeakTOPS    float64 `json:"peak_tops"`
+	GBufBytes   int64   `json:"gbuf_bytes"`
+	// DRAMBandwidth is bytes per nanosecond (== GB/s).
+	DRAMBandwidth float64 `json:"dram_gbps"`
+}
+
+func hwInfo(name string, cfg hw.Config) HWInfo {
+	return HWInfo{Name: name, Description: cfg.String(), Cores: cfg.Cores,
+		PeakTOPS: cfg.PeakTOPS(), GBufBytes: cfg.GBufBytes,
+		DRAMBandwidth: cfg.DRAMBandwidth}
+}
+
+func (s *Server) handleHW(w http.ResponseWriter, _ *http.Request) {
+	infos := make([]HWInfo, 0, len(exp.Platforms()))
+	for _, name := range exp.Platforms() {
+		cfg, err := exp.Platform(name)
+		if err != nil {
+			continue
+		}
+		infos = append(infos, hwInfo(name, cfg))
+	}
+	writeJSON(w, http.StatusOK, map[string][]HWInfo{"hw": infos})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	spec, par, err := req.normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v := s.store.Add(req, spec, par)
+	select {
+	case s.queue <- v.ID:
+	default:
+		s.store.finish(v.ID, StateFailed, "queue full", nil)
+		writeError(w, http.StatusServiceUnavailable, "job queue full, retry later")
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		s.waitFor(w, r, v.ID)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// waitFor blocks a ?wait=1 submit until the job reaches a terminal state.
+// If the client disconnects first, the job is canceled - the requester went
+// away, so the annealer stops mid-chain instead of burning a worker slot.
+func (s *Server) waitFor(w http.ResponseWriter, r *http.Request, id string) {
+	done, ok := s.store.Done(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	select {
+	case <-done:
+		v, _ := s.store.Get(id)
+		writeJSON(w, http.StatusOK, v)
+	case <-r.Context().Done():
+		s.store.Cancel(id)
+	case <-s.base.Done():
+		// Server draining: cancel rather than leave the handler blocked
+		// (a job submitted in the instant before Stop's sweep would
+		// otherwise never reach a terminal state).
+		s.store.Cancel(id)
+		v, _ := s.store.Get(id)
+		writeJSON(w, http.StatusServiceUnavailable, v)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]View{"jobs": s.store.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, found, conflict := s.store.Cancel(id)
+	if !found {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	if conflict {
+		writeJSON(w, http.StatusConflict, v)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"soma/internal/report"
+	"soma/internal/soma"
+)
+
+// Store is the in-memory job table. It owns every state transition so the
+// queue, the workers, and the HTTP handlers never race on a Job: all reads
+// go through View snapshots taken under the lock.
+//
+// Retention is bounded: once the table exceeds maxJobs, the oldest terminal
+// jobs (and their result payloads) are evicted, so a daemon serving
+// sustained traffic does not grow without bound. Live (queued/running) jobs
+// are never evicted.
+type Store struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	// order preserves submission order for listings and eviction.
+	order   []string
+	seq     int
+	maxJobs int
+}
+
+// DefaultMaxJobs bounds the job table before old terminal jobs are evicted.
+const DefaultMaxJobs = 1024
+
+// NewStore creates an empty job table retaining at most maxJobs jobs
+// (<= 0 selects DefaultMaxJobs).
+func NewStore(maxJobs int) *Store {
+	if maxJobs <= 0 {
+		maxJobs = DefaultMaxJobs
+	}
+	return &Store{jobs: make(map[string]*Job), maxJobs: maxJobs}
+}
+
+// evict drops the oldest terminal jobs while the table is over its bound.
+// Callers hold st.mu.
+func (st *Store) evict() {
+	if len(st.order) <= st.maxJobs {
+		return
+	}
+	kept := st.order[:0]
+	over := len(st.order) - st.maxJobs
+	for _, id := range st.order {
+		if over > 0 && st.jobs[id].State.Terminal() {
+			delete(st.jobs, id)
+			over--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+}
+
+// Add registers a new queued job (req already normalized into spec/par) and
+// returns its snapshot.
+func (st *Store) Add(req Request, spec report.Spec, par soma.Params) View {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", st.seq),
+		State:   StateQueued,
+		Req:     req,
+		spec:    spec,
+		par:     par,
+		Created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	st.jobs[j.ID] = j
+	st.order = append(st.order, j.ID)
+	st.evict()
+	return j.view()
+}
+
+// Get snapshots one job; ok is false for unknown IDs.
+func (st *Store) Get(id string) (View, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	return j.view(), true
+}
+
+// List snapshots every job in submission order.
+func (st *Store) List() []View {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]View, 0, len(st.order))
+	for _, id := range st.order {
+		out = append(out, st.jobs[id].view())
+	}
+	return out
+}
+
+// Counts tallies jobs per state for /v1/stats.
+func (st *Store) Counts() map[State]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c := make(map[State]int, 5)
+	for _, j := range st.jobs {
+		c[j.State]++
+	}
+	return c
+}
+
+// Done exposes the job's completion channel (closed on the transition into a
+// terminal state); ok is false for unknown IDs.
+func (st *Store) Done(id string) (<-chan struct{}, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.done, true
+}
+
+// start transitions queued -> running and installs the cancel hook. It
+// returns false when the job was canceled while still in the queue (the
+// worker then just drops it).
+func (st *Store) start(id string, cancel context.CancelFunc) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok || j.State != StateQueued {
+		return false
+	}
+	j.State = StateRunning
+	j.Started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish moves a running job into a terminal state.
+func (st *Store) finish(id string, state State, errMsg string, apply func(*Job)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok || j.State.Terminal() {
+		return
+	}
+	j.State = state
+	j.Err = errMsg
+	j.Finished = time.Now()
+	j.cancel = nil
+	if apply != nil {
+		apply(j)
+	}
+	close(j.done)
+}
+
+// Cancel requests cancellation. A queued job is canceled immediately; a
+// running job has its context canceled and reaches the canceled state once
+// the annealer notices (the returned View may still say running). Canceling
+// a terminal job is a no-op that reports conflict = true.
+func (st *Store) Cancel(id string) (v View, found, conflict bool) {
+	st.mu.Lock()
+	j, ok := st.jobs[id]
+	if !ok {
+		st.mu.Unlock()
+		return View{}, false, false
+	}
+	switch j.State {
+	case StateQueued:
+		j.State = StateCanceled
+		j.Err = "canceled before start"
+		j.Finished = time.Now()
+		close(j.done)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	default:
+		v = j.view()
+		st.mu.Unlock()
+		return v, true, true
+	}
+	v = j.view()
+	st.mu.Unlock()
+	return v, true, false
+}
+
+// CancelAll cancels every non-terminal job: queued jobs go straight to
+// canceled (closing their done channels, which unblocks waiters), running
+// jobs have their contexts canceled. Used by Server.Stop.
+func (st *Store) CancelAll() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, j := range st.jobs {
+		switch j.State {
+		case StateQueued:
+			j.State = StateCanceled
+			j.Err = "canceled: server shutting down"
+			j.Finished = time.Now()
+			close(j.done)
+		case StateRunning:
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+	}
+}
+
+// inputs hands a worker the resolved run inputs (immutable after Add).
+func (st *Store) inputs(id string) (spec report.Spec, par soma.Params, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, found := st.jobs[id]
+	if !found {
+		return report.Spec{}, soma.Params{}, false
+	}
+	return j.spec, j.par, true
+}

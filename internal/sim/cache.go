@@ -14,10 +14,19 @@ import (
 // so keying the evaluator by the schedule's canonical encoding (plus the
 // buffer budget, which decides feasibility) turns those repeats into map
 // lookups. A Cache is safe for concurrent use by the portfolio workers.
+//
+// Eviction is generational, which makes the cache safe to embed in a
+// long-running daemon: entries live in two maps, cur and old, each holding
+// at most cap/2 entries. Inserts go to cur; when cur fills, old is dropped
+// and cur becomes the new old (one "flush" of the oldest generation). A hit
+// in old promotes the entry back into cur. Total memory is therefore
+// bounded by cap entries while the annealer's short revisit distance keeps
+// hitting the surviving generation - unlike the previous wholesale flush,
+// which emptied the cache at exactly the moment it was hottest.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]cacheEntry
-	cap     int
+	mu       sync.Mutex
+	cur, old map[string]cacheEntry
+	cap      int
 
 	hits, misses, flushes int64
 }
@@ -32,13 +41,46 @@ type cacheEntry struct {
 const DefaultCacheEntries = 1 << 17
 
 // NewCache creates a cache holding at most capacity entries (<= 0 selects
-// DefaultCacheEntries). When full, the cache is flushed wholesale: the
-// annealer's revisit distance is short, so an epoch flush loses little.
+// DefaultCacheEntries); entries beyond that evict the oldest generation.
 func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheEntries
 	}
-	return &Cache{entries: make(map[string]cacheEntry), cap: capacity}
+	return &Cache{cur: make(map[string]cacheEntry), cap: capacity}
+}
+
+// gen is the per-generation entry bound (>= 1 so even cap 1 makes progress).
+func (c *Cache) gen() int {
+	g := c.cap / 2
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// insert adds an entry to the current generation, rotating generations when
+// it is full. Callers hold c.mu.
+func (c *Cache) insert(key string, e cacheEntry) {
+	if len(c.cur) >= c.gen() {
+		c.old = c.cur
+		c.cur = make(map[string]cacheEntry, c.gen())
+		c.flushes++
+	}
+	c.cur[key] = e
+}
+
+// lookup finds an entry in either generation, promoting old hits so the
+// working set survives rotation. Callers hold c.mu.
+func (c *Cache) lookup(key string) (cacheEntry, bool) {
+	if e, ok := c.cur[key]; ok {
+		return e, true
+	}
+	if e, ok := c.old[key]; ok {
+		delete(c.old, key)
+		c.insert(key, e)
+		return e, true
+	}
+	return cacheEntry{}, false
 }
 
 // Evaluate is a memoizing sim.Evaluate. Traced evaluations bypass the cache:
@@ -48,7 +90,7 @@ func (c *Cache) Evaluate(s *core.Schedule, cs *coresched.Scheduler, opt Options)
 	if c == nil || opt.Trace {
 		return Evaluate(s, cs, opt)
 	}
-	return c.Memoize(Key(s.CanonicalKey(), opt.BufferBudget), func() (*Metrics, error) {
+	return c.Memoize(Key(opt.CacheScope+s.CanonicalKey(), opt.BufferBudget), func() (*Metrics, error) {
 		return Evaluate(s, cs, opt)
 	})
 }
@@ -69,7 +111,7 @@ func (c *Cache) Memoize(key string, eval func() (*Metrics, error)) (*Metrics, er
 		return eval()
 	}
 	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
+	if e, ok := c.lookup(key); ok {
 		c.hits++
 		c.mu.Unlock()
 		m := e.m
@@ -84,21 +126,20 @@ func (c *Cache) Memoize(key string, eval func() (*Metrics, error)) (*Metrics, er
 		e.m = *m
 	}
 	c.mu.Lock()
-	if len(c.entries) >= c.cap {
-		c.entries = make(map[string]cacheEntry)
-		c.flushes++
-	}
-	c.entries[key] = e
+	c.insert(key, e)
 	c.mu.Unlock()
 	return m, err
 }
 
 // CacheStats is a point-in-time counter snapshot. report.HitRate formats the
-// counters as a rate for run reports.
+// counters as a rate for run reports; somad serves them raw on /v1/stats.
 type CacheStats struct {
-	Hits, Misses int64
-	Entries      int
-	Flushes      int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Entries counts both live generations; Flushes counts evictions of
+	// the oldest generation.
+	Entries int   `json:"entries"`
+	Flushes int64 `json:"flushes"`
 }
 
 // Stats snapshots the cache counters. Safe on a nil cache.
@@ -108,5 +149,6 @@ func (c *Cache) Stats() CacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Flushes: c.flushes}
+	return CacheStats{Hits: c.hits, Misses: c.misses,
+		Entries: len(c.cur) + len(c.old), Flushes: c.flushes}
 }

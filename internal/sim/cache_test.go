@@ -95,7 +95,7 @@ func TestCacheKeyIncludesBudget(t *testing.T) {
 
 func TestCacheTraceBypassAndFlush(t *testing.T) {
 	s, cs := cacheTestSchedule(t)
-	c := NewCache(1)
+	c := NewCache(2)
 	if _, err := c.Evaluate(s, cs, Options{Trace: true}); err != nil {
 		t.Fatal(err)
 	}
@@ -103,16 +103,52 @@ func TestCacheTraceBypassAndFlush(t *testing.T) {
 		t.Fatalf("traced evaluations must bypass the cache: %+v", st)
 	}
 
-	// Capacity 1: the second distinct key flushes the first.
-	if _, err := c.Evaluate(s, cs, Options{}); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := c.Evaluate(s, cs, Options{BufferBudget: 1}); err != nil {
-		t.Fatal(err)
+	// Capacity 2 (generations of 1): three distinct keys must rotate the
+	// generations at least once and never hold more than cap entries.
+	for _, budget := range []int64{0, 1, 2} {
+		if _, err := c.Evaluate(s, cs, Options{BufferBudget: budget}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	st := c.Stats()
-	if st.Flushes == 0 || st.Entries != 1 {
-		t.Fatalf("expected an epoch flush at capacity: %+v", st)
+	if st.Flushes == 0 || st.Entries > 2 {
+		t.Fatalf("expected generational eviction at capacity: %+v", st)
+	}
+}
+
+// TestCacheGenerationalEviction drives Memoize through many distinct keys
+// and checks the daemon-facing guarantees: memory stays bounded by the
+// capacity while recently used entries survive rotation via promotion.
+func TestCacheGenerationalEviction(t *testing.T) {
+	c := NewCache(4) // generations of 2
+	evals := 0
+	get := func(key string) {
+		_, _ = c.Memoize(key, func() (*Metrics, error) {
+			evals++
+			return &Metrics{}, nil
+		})
+	}
+	for _, key := range []string{"a", "b", "c", "a", "d", "a", "b"} {
+		get(key)
+		if st := c.Stats(); st.Entries > 4 {
+			t.Fatalf("cache exceeded its capacity: %+v", st)
+		}
+	}
+	st := c.Stats()
+	// "a" is hit twice (promoted out of the old generation both times);
+	// "b" was evicted with its generation and re-evaluated.
+	if st.Hits != 2 || st.Misses != 5 || evals != 5 {
+		t.Fatalf("hits/misses/evals = %d/%d/%d, want 2/5/5 (%+v)", st.Hits, st.Misses, evals, st)
+	}
+	if st.Flushes != 3 {
+		t.Fatalf("expected 3 generation rotations, got %+v", st)
+	}
+	// The bound must hold under sustained churn, not just this sequence.
+	for i := 0; i < 1000; i++ {
+		get(string(rune('e' + i%64)))
+	}
+	if st := c.Stats(); st.Entries > 4 {
+		t.Fatalf("sustained churn broke the bound: %+v", st)
 	}
 }
 
@@ -155,5 +191,28 @@ func TestNilCacheDelegates(t *testing.T) {
 	}
 	if st := c.Stats(); st != (CacheStats{}) {
 		t.Fatalf("nil cache stats must be zero: %+v", st)
+	}
+}
+
+// TestCacheScopeSeparatesContexts: canonical keys only identify schedules
+// within one (graph, hardware) pair, so a shared cache must keep entries
+// from different scopes apart (the somad daemon relies on this).
+func TestCacheScopeSeparatesContexts(t *testing.T) {
+	s, cs := cacheTestSchedule(t)
+	c := NewCache(0)
+	if _, err := c.Evaluate(s, cs, Options{CacheScope: "resnet50|1|edge|"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Evaluate(s, cs, Options{CacheScope: "resnet50|16|edge|"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("different scopes must not share entries: %+v", st)
+	}
+	if _, err := c.Evaluate(s, cs, Options{CacheScope: "resnet50|1|edge|"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("same scope must hit: %+v", st)
 	}
 }

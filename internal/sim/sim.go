@@ -27,6 +27,12 @@ type Options struct {
 	// stage never changes tiles, so it evaluates thousands of candidate
 	// schedules against one PrecomputeTileCosts result.
 	TileCosts *TileCosts
+	// CacheScope namespaces Cache keys. Canonical schedule keys only
+	// identify a schedule within one (graph, hardware) context, so
+	// callers sharing one Cache across workloads or platforms (the somad
+	// daemon) must set a scope that identifies that context; Evaluate
+	// itself ignores the field.
+	CacheScope string
 }
 
 // TileCosts caches the compute-side evaluation of a schedule's tiles.

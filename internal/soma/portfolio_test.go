@@ -2,6 +2,7 @@ package soma
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"soma/internal/hw"
@@ -55,12 +56,12 @@ func TestPortfolioWorkerCountInvariance(t *testing.T) {
 func TestPortfolioNeverWorseThanSerial(t *testing.T) {
 	g := testNet(t)
 	serial := New(g, hw.Edge(), EDP(), portfolioParams(1, 1))
-	_, s1Serial, err := serial.RunStage1(serial.Cfg.GBufBytes, serial.Par.Seed)
+	_, s1Serial, err := serial.RunStage1(context.Background(), serial.Cfg.GBufBytes, serial.Par.Seed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pf := New(g, hw.Edge(), EDP(), portfolioParams(6, 2))
-	_, s1Pf, err := pf.RunStage1(pf.Cfg.GBufBytes, pf.Par.Seed)
+	_, s1Pf, err := pf.RunStage1(context.Background(), pf.Cfg.GBufBytes, pf.Par.Seed)
 	if err != nil {
 		t.Fatal(err)
 	}

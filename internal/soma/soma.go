@@ -7,6 +7,7 @@
 package soma
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -89,6 +90,22 @@ func DefaultParams() Params {
 		T0: 0.25, Alpha: 4, Seed: 1, BufferStepFrac: 0.10, Patience: 2, MinTile: 1}
 }
 
+// ProfileParams maps a named search profile (as used by the CLI -profile
+// flag and the somad job API) to its parameter set; the empty name selects
+// the default profile.
+func ProfileParams(name string) (Params, error) {
+	switch name {
+	case "", "default":
+		return DefaultParams(), nil
+	case "fast":
+		return FastParams(), nil
+	case "paper":
+		return PaperParams(), nil
+	default:
+		return Params{}, fmt.Errorf("soma: unknown profile %q (fast|default|paper)", name)
+	}
+}
+
 // FastParams returns the smallest profile used by tests and smoke benches.
 func FastParams() Params {
 	p := DefaultParams()
@@ -133,6 +150,12 @@ type Explorer struct {
 	// allocator iterations (the core-array scheduler keeps its own
 	// per-tile cache underneath).
 	Cache *sim.Cache
+	// Scope namespaces this explorer's cache keys. Canonical keys only
+	// identify a schedule within one (graph, hardware) pair, so anyone
+	// sharing one Cache across several explorers (the somad daemon) must
+	// give each distinct workload/platform context a distinct scope. The
+	// private cache soma.New installs needs none.
+	Scope string
 }
 
 // New builds an explorer. The core-array scheduler cache and the evaluation
@@ -151,7 +174,7 @@ func (e *Explorer) portfolio() sa.PortfolioConfig {
 // infeasible or deadlocked candidates together with the metrics when
 // available.
 func (e *Explorer) cost(s *core.Schedule, budget int64) (float64, *sim.Metrics) {
-	m, err := e.Cache.Evaluate(s, e.CS, sim.Options{BufferBudget: budget})
+	m, err := e.Cache.Evaluate(s, e.CS, sim.Options{BufferBudget: budget, CacheScope: e.Scope})
 	if err != nil {
 		return math.Inf(1), nil
 	}
@@ -166,8 +189,17 @@ func (e *Explorer) cost(s *core.Schedule, budget int64) (float64, *sim.Metrics) 
 // BufferStepFrac of the first iteration's peak usage, and the loop stops
 // after Patience consecutive iterations without improving the overall cost.
 func (e *Explorer) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: canceling ctx stops the
+// annealing chains within a few dozen iterations and RunContext returns
+// ctx.Err() (a canceled exploration yields no result, even if earlier
+// allocator iterations finished - callers wanting partial results should run
+// iterations themselves via RunOnce).
+func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 	full := e.Cfg.GBufBytes
-	best, err := e.RunOnce(full, e.Par.Seed)
+	best, err := e.RunOnce(ctx, full, e.Par.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +221,10 @@ func (e *Explorer) Run() (*Result, error) {
 		if budget <= 0 {
 			break
 		}
-		cand, err := e.RunOnce(budget, e.Par.Seed+int64(k))
+		cand, err := e.RunOnce(ctx, budget, e.Par.Seed+int64(k))
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		if err != nil {
 			bad++
 		} else if cand.Cost < best.Cost {
@@ -210,9 +245,9 @@ func (e *Explorer) Run() (*Result, error) {
 }
 
 // RunOnce performs a single two-stage exploration with the given stage-1
-// buffer budget.
-func (e *Explorer) RunOnce(stage1Budget int64, seed int64) (*Result, error) {
-	enc, s1, err := e.RunStage1(stage1Budget, seed)
+// buffer budget. Canceling ctx aborts the exploration with ctx.Err().
+func (e *Explorer) RunOnce(ctx context.Context, stage1Budget int64, seed int64) (*Result, error) {
+	enc, s1, err := e.RunStage1(ctx, stage1Budget, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +259,10 @@ func (e *Explorer) RunOnce(stage1Budget int64, seed int64) (*Result, error) {
 		return &Result{Encoding: enc, Schedule: sched,
 			Stage1: s1, Stage2: s1, Cost: s1.Cost}, nil
 	}
-	final, s2 := e.RunStage2(sched, seed)
+	final, s2 := e.RunStage2(ctx, sched, seed)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
 	return &Result{
 		Encoding: enc,
 		Schedule: final,

@@ -1,6 +1,7 @@
 package soma
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestStage1ImprovesOnNoFusion(t *testing.T) {
 		t.Fatal(err)
 	}
 	initCost, _ := e.cost(init, e.Cfg.GBufBytes)
-	enc, s1, err := e.RunStage1(e.Cfg.GBufBytes, 1)
+	enc, s1, err := e.RunStage1(context.Background(), e.Cfg.GBufBytes, 1)
 	if err != nil {
 		t.Fatalf("stage1: %v", err)
 	}
@@ -70,7 +71,7 @@ func TestStage1ImprovesOnNoFusion(t *testing.T) {
 func TestStage2NeverWorseThanStage1(t *testing.T) {
 	g := testNet(t)
 	e := New(g, hw.Edge(), EDP(), FastParams())
-	enc, s1, err := e.RunStage1(e.Cfg.GBufBytes, 2)
+	enc, s1, err := e.RunStage1(context.Background(), e.Cfg.GBufBytes, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestStage2NeverWorseThanStage1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	final, s2 := e.RunStage2(sched, 2)
+	final, s2 := e.RunStage2(context.Background(), sched, 2)
 	if s2.Cost > s1.Cost*1.0001 {
 		t.Fatalf("stage2 regressed: %g > %g", s2.Cost, s1.Cost)
 	}

@@ -1,6 +1,7 @@
 package soma
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -19,8 +20,9 @@ const encKeyPrefix = "enc:"
 // this stage. Operators: change computing order, multiply/divide an FLG's
 // tiling number by two, add/delete an FLC, add/delete a DRAM cut.
 // With Params.Chains > 1 the stage runs a portfolio of independently seeded
-// chains and keeps the best incumbent.
-func (e *Explorer) RunStage1(budget int64, seed int64) (*core.Encoding, StageResult, error) {
+// chains and keeps the best incumbent. Canceling ctx aborts the stage with
+// ctx.Err().
+func (e *Explorer) RunStage1(ctx context.Context, budget int64, seed int64) (*core.Encoding, StageResult, error) {
 	init := InitialEncoding(e.G, e.Cfg, e.Par.MinTile)
 	iters := e.Par.Beta1 * len(init.Order)
 	if e.Par.Stage1MaxIters > 0 && iters > e.Par.Stage1MaxIters {
@@ -32,7 +34,7 @@ func (e *Explorer) RunStage1(budget int64, seed int64) (*core.Encoding, StageRes
 	// shared initial solution of a portfolio, the winner's re-evaluation
 	// below - costs one map lookup.
 	evalEnc := func(enc *core.Encoding) (*sim.Metrics, error) {
-		return e.Cache.Memoize(sim.Key(encKeyPrefix+enc.CanonicalKey(), budget),
+		return e.Cache.Memoize(sim.Key(e.Scope+encKeyPrefix+enc.CanonicalKey(), budget),
 			func() (*sim.Metrics, error) {
 				s, err := core.Parse(e.G, enc)
 				if err != nil {
@@ -50,9 +52,12 @@ func (e *Explorer) RunStage1(budget int64, seed int64) (*core.Encoding, StageRes
 	}
 
 	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed}
-	best, bestCost, stats := sa.RunPortfolio(cfg, e.portfolio(), init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
+	best, bestCost, stats := sa.RunPortfolioCtx(ctx, cfg, e.portfolio(), init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
 		return e.mutateLFA(enc, rng)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, StageResult{}, err
+	}
 	if math.IsInf(bestCost, 1) {
 		return nil, StageResult{}, ErrNoFeasible
 	}

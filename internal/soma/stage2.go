@@ -1,6 +1,7 @@
 package soma
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -15,8 +16,9 @@ import (
 // Duration (Start for loads, End for stores). Tensors are selected with
 // probability proportional to their size, as larger tensors move the needle
 // more (paper rule). Stage 2 may use the whole GBUF: the allocator's budget
-// split only constrains stage 1.
-func (e *Explorer) RunStage2(sched *core.Schedule, seed int64) (*core.Schedule, StageResult) {
+// split only constrains stage 1. Canceling ctx stops the annealer early and
+// returns the incumbent; RunOnce turns that into ctx.Err() for its caller.
+func (e *Explorer) RunStage2(ctx context.Context, sched *core.Schedule, seed int64) (*core.Schedule, StageResult) {
 	iters := e.Par.Beta2 * len(sched.Tensors)
 	if iters > e.Par.Stage2MaxIters {
 		iters = e.Par.Stage2MaxIters
@@ -28,14 +30,15 @@ func (e *Explorer) RunStage2(sched *core.Schedule, seed int64) (*core.Schedule, 
 	// short-circuits revisited DLSA points entirely.
 	tc := sim.PrecomputeTileCosts(sched, e.CS)
 	costS := func(s *core.Schedule) float64 {
-		m, err := e.Cache.Evaluate(s, e.CS, sim.Options{BufferBudget: e.Cfg.GBufBytes, TileCosts: tc})
+		m, err := e.Cache.Evaluate(s, e.CS, sim.Options{BufferBudget: e.Cfg.GBufBytes,
+			TileCosts: tc, CacheScope: e.Scope})
 		if err != nil || !m.BufferOK {
 			return math.Inf(1)
 		}
 		return m.Cost(e.Obj.N, e.Obj.M)
 	}
 	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed + 7919}
-	best, bestCost, stats := sa.RunPortfolio(cfg, e.portfolio(), sched, costS, func(s *core.Schedule, rng *rand.Rand) (*core.Schedule, bool) {
+	best, bestCost, stats := sa.RunPortfolioCtx(ctx, cfg, e.portfolio(), sched, costS, func(s *core.Schedule, rng *rand.Rand) (*core.Schedule, bool) {
 		c := s.Clone()
 		return c, mutateDLSA(c, picker, rng)
 	})
