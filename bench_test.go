@@ -18,6 +18,7 @@ import (
 	"soma/internal/sim"
 	"soma/internal/soma"
 	"soma/internal/trace"
+	"soma/internal/workload"
 )
 
 func fastPar() soma.Params { return soma.FastParams() }
@@ -121,6 +122,29 @@ func BenchmarkFig8Trace(b *testing.B) {
 		}
 		if len(trace.Render(tp.Ours2, tp.M2, 100)) == 0 {
 			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkScenario measures one composed multi-model run: the built-in
+// multi-tenant CNN mix scheduled as a single graph plus its per-model
+// isolated baselines (the exp.RunScenario flow behind `soma -scenario` and
+// scenario jobs in somad).
+func BenchmarkScenario(b *testing.B) {
+	sc, err := workload.Builtin("multi-tenant-cnn")
+	if err != nil {
+		b.Fatal(err)
+	}
+	par := fastPar()
+	par.Beta1, par.Beta2 = 2, 1
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunScenario(exp.ScenarioRun{Scenario: sc, Platform: "edge",
+			Obj: soma.EDP(), Par: par})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Scenario == nil || res.Scenario.ComposedSpeedup <= 0 {
+			b.Fatal("scenario aggregates missing")
 		}
 	}
 }

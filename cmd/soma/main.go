@@ -11,6 +11,9 @@
 //	soma -model resnet50 -chains 8 -workers 4
 //	soma -model resnet50 -framework cocco -trace
 //	soma -model resnet50 -ir out.ir -dram 32 -buf 16
+//	soma -scenario multi-tenant-cnn -json
+//	soma -scenario my_mix.json -profile fast
+//	soma -list
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"soma/internal/sim"
 	"soma/internal/soma"
 	"soma/internal/trace"
+	"soma/internal/workload"
 )
 
 func main() {
@@ -49,7 +53,14 @@ func main() {
 	irOut := flag.String("ir", "", "write the lowered instruction stream to this file")
 	showTrace := flag.Bool("trace", false, "print the execution graph")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable result payload (same schema as the somad API) instead of the human report")
+	scenario := flag.String("scenario", "", "schedule a multi-model scenario: a built-in name (see -list) or a JSON spec file")
+	list := flag.Bool("list", false, "list registered models, platforms and built-in scenarios, then exit")
 	flag.Parse()
+
+	if *list {
+		printCatalog()
+		return
+	}
 
 	cfg, err := exp.Platform(*hwName)
 	if err != nil {
@@ -60,10 +71,6 @@ func main() {
 	}
 	if *buf > 0 {
 		cfg = cfg.WithGBuf(*buf << 20)
-	}
-	g, err := models.Build(*model, *batch)
-	if err != nil {
-		fatal(err)
 	}
 	par, err := soma.ProfileParams(*profile)
 	if err != nil {
@@ -80,6 +87,31 @@ func main() {
 		par.Stage2MaxIters = 1 << 20
 	}
 	obj := soma.Objective{N: *objN, M: *objM}
+
+	if *scenario != "" {
+		// Mirror the somad API contract: a scenario request carries its
+		// own per-component models and batches.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "model" || f.Name == "batch" {
+				fatal(fmt.Errorf("-scenario defines its own components; -%s is not allowed", f.Name))
+			}
+		})
+		switch {
+		case *framework != "soma":
+			fatal(fmt.Errorf("-scenario runs the soma framework only"))
+		case *dram > 0 || *buf > 0:
+			fatal(fmt.Errorf("-scenario uses the named platform preset; -dram/-buf overrides are not supported"))
+		case *showTrace || *irOut != "":
+			fatal(fmt.Errorf("-trace and -ir are not supported with -scenario"))
+		}
+		runScenario(*scenario, *hwName, obj, par, *jsonOut)
+		return
+	}
+
+	g, err := models.Build(*model, *batch)
+	if err != nil {
+		fatal(err)
+	}
 	spec := report.Spec{Model: *model, Batch: *batch, HW: *hwName,
 		Framework: *framework, Seed: *seed, Obj: report.Objective{N: *objN, M: *objM}}
 
@@ -159,6 +191,101 @@ func main() {
 				len(prog.Instrs), prog.Counts()[isa.Load], prog.Counts()[isa.Store],
 				prog.Counts()[isa.Compute], *irOut)
 		}
+	}
+}
+
+// resolveScenario turns the -scenario argument into a Scenario: a path to a
+// JSON spec file (anything containing a path separator or ending in .json),
+// otherwise a built-in library name.
+func resolveScenario(arg string) (workload.Scenario, error) {
+	if strings.ContainsAny(arg, "/\\") || strings.HasSuffix(arg, ".json") {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return workload.Scenario{}, err
+		}
+		return workload.ParseSpec(data)
+	}
+	return workload.Builtin(arg)
+}
+
+// runScenario is the -scenario flow: compose, schedule, and report. The JSON
+// payload is the exact one the somad jobs API serves for the same request.
+func runScenario(arg, hwName string, obj soma.Objective, par soma.Params, jsonOut bool) {
+	sc, err := resolveScenario(arg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := exp.RunScenario(exp.ScenarioRun{Scenario: sc, Platform: hwName, Obj: obj, Par: par})
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printScenarioReport(res)
+}
+
+func printScenarioReport(res *report.Result) {
+	info := res.Scenario
+	fmt.Printf("scenario: %s (%s, %d components)\n", info.Name, info.Arrival, len(info.Components))
+	fmt.Printf("hardware: %s\n\n", res.Hardware.Description)
+
+	t := report.New("components (isolated runs)", "component", "model", "batch", "weight",
+		"layers", "latency", "energy", "dram busy")
+	for _, c := range info.Components {
+		m := c.Isolated.Metrics
+		t.Add(c.Name, c.Model, fmt.Sprint(c.Batch), report.F(c.Weight, 1),
+			fmt.Sprint(c.Layers), report.Ms(m.LatencyNS),
+			fmt.Sprintf("%.3f mJ", m.EnergyPJ/1e9), report.Pct(m.DRAMUtilization))
+	}
+	fmt.Println(t.String())
+
+	a := report.New("composed schedule", "metric", "value")
+	a.Add("latency", report.Ms(res.Metrics.LatencyNS))
+	a.Add("  isolated sum", report.Ms(info.IsolatedSumLatencyNS))
+	a.Add("  speedup vs isolated", report.X(info.ComposedSpeedup))
+	a.Add("energy", fmt.Sprintf("%.3f mJ", res.Metrics.EnergyPJ/1e9))
+	a.Add("  isolated sum", fmt.Sprintf("%.3f mJ", info.IsolatedSumEnergyPJ/1e9))
+	a.Add("dram busy", report.Pct(res.Metrics.DRAMUtilization))
+	a.Add("dram traffic", report.MB(res.Metrics.TotalDRAMBytes))
+	a.Add("peak buffer", report.MB(res.Metrics.PeakBufferBytes))
+	a.Add("cost", report.E(res.Cost))
+	a.Add("  weighted isolated", report.E(info.WeightedIsolatedCost))
+	a.Add("LGs / FLGs", fmt.Sprintf("%d / %d", res.Schedule.LGs, res.Schedule.FLGs))
+	a.Add("tiles / DRAM tensors", fmt.Sprintf("%d / %d", res.Schedule.Tiles, res.Schedule.Tensors))
+	fmt.Println(a.String())
+}
+
+// printCatalog is the -list flow, sharing exp.Registry with the somad
+// /v1/models, /v1/hw and /v1/scenarios endpoints.
+func printCatalog() {
+	cat := exp.Registry()
+	fmt.Println("models:")
+	for _, m := range cat.Models {
+		fmt.Printf("  %s\n", m)
+	}
+	fmt.Println("platforms:")
+	for _, p := range cat.Platforms {
+		cfg, err := exp.Platform(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %s\n", cfg.String())
+	}
+	fmt.Println("scenarios:")
+	for _, name := range cat.Scenarios {
+		sc, err := workload.Builtin(name)
+		if err != nil {
+			fatal(err)
+		}
+		parts := make([]string, len(sc.Components))
+		for i, c := range sc.Components {
+			parts[i] = c.String()
+		}
+		fmt.Printf("  %s (%s): %s\n", sc.Name, sc.Arrival, strings.Join(parts, " + "))
 	}
 }
 

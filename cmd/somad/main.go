@@ -12,6 +12,9 @@
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	  -d '{"model":"resnet50","batch":1,"hw":"edge","params":{"profile":"fast"}}'
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"scenario":"multi-tenant-cnn","params":{"profile":"fast"}}'
+//	curl -s localhost:8080/v1/scenarios
 //	curl -s localhost:8080/v1/jobs/job-000001
 package main
 

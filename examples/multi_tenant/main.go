@@ -1,0 +1,81 @@
+// Multi-tenant composition study: two CNNs sharing one edge accelerator,
+// scheduled three ways - each model isolated (the serial back-to-back
+// baseline), strictly sequential composition (barrier edges, but DRAM
+// transfers overlap the model boundary), and free interleaving (the scheduler
+// may interleave the tenants' tiles). The deltas show what cross-model DRAM
+// communication scheduling buys: the composed schedules prefetch one tenant's
+// weights under the other's compute, raising DRAM busy time and cutting
+// latency relative to the isolated sum.
+//
+// Run: go run ./examples/multi_tenant [-a resnet50] [-b mobilenetv2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"soma/internal/exp"
+	"soma/internal/soma"
+	"soma/internal/workload"
+)
+
+func main() {
+	modelA := flag.String("a", "resnet50", "first tenant model")
+	modelB := flag.String("b", "mobilenetv2", "second tenant model")
+	batch := flag.Int("batch", 1, "batch size of both tenants")
+	flag.Parse()
+
+	par := soma.FastParams()
+	scenario := func(name string, arrival workload.ArrivalMode) workload.Scenario {
+		s := workload.Scenario{
+			Name:    name,
+			Arrival: arrival,
+			Components: []workload.Component{
+				{Name: "a", Model: *modelA, Batch: *batch},
+				{Name: "b", Model: *modelB, Batch: *batch},
+			},
+		}
+		s.Normalize()
+		return s
+	}
+
+	fmt.Printf("tenants: %s + %s (batch %d) on edge\n\n", *modelA, *modelB, *batch)
+	fmt.Printf("%-22s  %10s  %10s  %9s  %9s\n",
+		"schedule", "latency", "vs isolated", "dram-busy", "energy")
+
+	var isolated float64
+	for _, arrival := range []workload.ArrivalMode{workload.Sequential, workload.Interleaved} {
+		res, err := exp.RunScenario(exp.ScenarioRun{
+			Scenario: scenario(string(arrival)+"-pair", arrival),
+			Platform: "edge", Obj: soma.EDP(), Par: par,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		info := res.Scenario
+		if isolated == 0 {
+			// The isolated runs are identical across arrivals; print
+			// the baseline row once.
+			isolated = info.IsolatedSumLatencyNS
+			var energy, busy float64
+			for _, c := range info.Components {
+				energy += c.Isolated.Metrics.EnergyPJ
+				busy += c.Isolated.Metrics.DRAMUtilization *
+					c.Isolated.Metrics.LatencyNS / info.IsolatedSumLatencyNS
+			}
+			fmt.Printf("%-22s  %9.3fms  %10s  %8.1f%%  %7.3fmJ\n",
+				"isolated (serial sum)", isolated/1e6, "1.00x", 100*busy, energy/1e9)
+		}
+		m := res.Metrics
+		fmt.Printf("%-22s  %9.3fms  %9.2fx  %8.1f%%  %7.3fmJ\n",
+			"composed "+string(arrival), m.LatencyNS/1e6, info.ComposedSpeedup,
+			100*m.DRAMUtilization, m.EnergyPJ/1e9)
+	}
+
+	fmt.Println("\nSequential composition already beats the isolated sum: the next tenant's")
+	fmt.Println("weights stream during the previous tenant's compute tail. Interleaving")
+	fmt.Println("relaxes the barrier as well, enlarging the scheduling space - at small")
+	fmt.Println("search budgets the SA may not fully exploit it, so raise -profile/-chains")
+	fmt.Println("to see the interleaved schedule catch up and pass the sequential one.")
+}

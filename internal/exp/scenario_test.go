@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"soma/internal/models"
+	"soma/internal/soma"
+	"soma/internal/workload"
+)
+
+func scenarioPar() soma.Params {
+	par := soma.FastParams()
+	par.Beta1, par.Beta2 = 2, 1
+	par.Stage1MaxIters, par.Stage2MaxIters = 400, 600
+	return par
+}
+
+// TestRunScenarioAggregates: a composed run carries the scenario section with
+// per-component isolated results and sane aggregate comparisons.
+func TestRunScenarioAggregates(t *testing.T) {
+	sc, err := workload.Builtin("multi-tenant-cnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(ScenarioRun{Scenario: sc, Platform: "edge", Obj: soma.EDP(), Par: scenarioPar()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload.Model != ScenarioModelName("multi-tenant-cnn") {
+		t.Fatalf("workload model %q", res.Workload.Model)
+	}
+	info := res.Scenario
+	if info == nil {
+		t.Fatal("no scenario section on a composed result")
+	}
+	if len(info.Components) != 2 {
+		t.Fatalf("want 2 components, got %d", len(info.Components))
+	}
+	var isolatedSum float64
+	for _, c := range info.Components {
+		if c.Isolated == nil {
+			t.Fatalf("component %s has no isolated result", c.Name)
+		}
+		if c.Isolated.Workload.Model != c.Model || c.Isolated.Cost <= 0 {
+			t.Fatalf("component %s isolated result malformed", c.Name)
+		}
+		if c.Layers <= 0 || c.Ops <= 0 {
+			t.Fatalf("component %s ownership snapshot empty", c.Name)
+		}
+		isolatedSum += c.Isolated.Metrics.LatencyNS
+	}
+	if info.IsolatedSumLatencyNS != isolatedSum {
+		t.Fatalf("isolated sum %g != recomputed %g", info.IsolatedSumLatencyNS, isolatedSum)
+	}
+	if info.ComposedSpeedup <= 0 || info.WeightedIsolatedCost <= 0 {
+		t.Fatalf("aggregates not computed: %+v", info)
+	}
+	if res.Cost <= 0 || res.Metrics.LatencyNS <= 0 {
+		t.Fatalf("composed metrics degenerate: cost %g", res.Cost)
+	}
+}
+
+// TestRunScenarioDeterministicAcrossWorkers: a fixed-seed scenario run is a
+// pure function of (spec, platform, params) - varying the portfolio worker
+// count or re-running must return byte-identical payloads, up to the
+// reporting-only search.workers echo (which records the worker count itself).
+func TestRunScenarioDeterministicAcrossWorkers(t *testing.T) {
+	sc, err := workload.Builtin("multi-tenant-cnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(chains, workers int) []byte {
+		par := scenarioPar()
+		par.Chains = chains
+		par.Workers = workers
+		res, err := RunScenario(ScenarioRun{Scenario: sc, Platform: "edge", Obj: soma.EDP(), Par: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Search.Workers = 0
+		for i := range res.Scenario.Components {
+			res.Scenario.Components[i].Isolated.Search.Workers = 0
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(2, 1)
+	if !bytes.Equal(serial, render(2, 3)) {
+		t.Fatal("scenario result changed with the worker count")
+	}
+	if !bytes.Equal(serial, render(2, 1)) {
+		t.Fatal("scenario result changed between identical runs")
+	}
+}
+
+// TestRegistryListingsSorted: every registry listing the scenario subsystem
+// references is deterministically sorted, so specs stay stable across runs.
+func TestRegistryListingsSorted(t *testing.T) {
+	cat := Registry()
+	if !sort.StringsAreSorted(cat.Models) || len(cat.Models) == 0 {
+		t.Fatalf("catalog models not sorted: %v", cat.Models)
+	}
+	if !sort.StringsAreSorted(cat.Platforms) || len(cat.Platforms) == 0 {
+		t.Fatalf("catalog platforms not sorted: %v", cat.Platforms)
+	}
+	if !sort.StringsAreSorted(cat.Scenarios) || len(cat.Scenarios) < 3 {
+		t.Fatalf("catalog scenarios not sorted: %v", cat.Scenarios)
+	}
+	for i := 0; i < 3; i++ {
+		again := Registry()
+		if len(again.Models) != len(cat.Models) || len(again.Scenarios) != len(cat.Scenarios) {
+			t.Fatal("catalog not deterministic")
+		}
+	}
+	known := make(map[string]bool, len(cat.Models))
+	for _, m := range models.Names() {
+		known[m] = true
+	}
+	for _, pf := range cat.Platforms {
+		for _, w := range Workloads(pf) {
+			if !known[w] {
+				t.Fatalf("Workloads(%s) lists %q, absent from the models registry", pf, w)
+			}
+		}
+	}
+}

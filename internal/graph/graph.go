@@ -193,6 +193,14 @@ type Layer struct {
 	// staying resident for the whole fusion group.
 	WeightsPerSample bool
 
+	// After lists ordering-only barrier predecessors: every tile of each
+	// listed layer must be scheduled before any tile of this layer, but no
+	// data flows over the edge - no DRAM tensor, no buffer interval, no
+	// store obligation for the predecessor. Scenario composition uses
+	// barriers to express sequential multi-model arrival (model B starts
+	// after model A completes) without distorting either model's traffic.
+	After []LayerID
+
 	// Ops is the total arithmetic work of the whole layer for the whole
 	// batch, counting one multiply-accumulate as 2 ops and one vector op
 	// as 1 op.
@@ -243,6 +251,11 @@ func (g *Graph) Add(l Layer) LayerID {
 	for _, d := range l.Deps {
 		if d.Producer < 0 || int(d.Producer) >= len(g.Layers) {
 			panic(fmt.Sprintf("graph %s: layer %s depends on unknown layer %d", g.Name, l.Name, d.Producer))
+		}
+	}
+	for _, a := range l.After {
+		if a < 0 || int(a) >= len(g.Layers) {
+			panic(fmt.Sprintf("graph %s: layer %s has barrier on unknown layer %d", g.Name, l.Name, a))
 		}
 	}
 	g.Layers = append(g.Layers, l)
@@ -331,6 +344,14 @@ func (g *Graph) Validate() error {
 					g.Name, p.Name, l.Name, p.Out.N, l.Out.N)
 			}
 		}
+		for _, a := range l.After {
+			if a >= l.ID {
+				return fmt.Errorf("graph %s: layer %s has barrier on later layer %d", g.Name, l.Name, a)
+			}
+			if g.Layers[a].Kind == Input {
+				return fmt.Errorf("graph %s: layer %s has barrier on input layer %s", g.Name, l.Name, g.Layers[a].Name)
+			}
+		}
 		if l.Ops < 0 || l.WeightBytes < 0 {
 			return fmt.Errorf("graph %s: layer %s has negative accounting", g.Name, l.Name)
 		}
@@ -365,6 +386,13 @@ func (g *Graph) IsValidOrder(ord []LayerID) bool {
 				continue
 			}
 			if pos[d.Producer] >= pos[id] {
+				return false
+			}
+		}
+		// Barriers constrain the Computing Order exactly like data
+		// dependencies even though they carry no bytes.
+		for _, a := range g.Layers[id].After {
+			if pos[a] >= pos[id] {
 				return false
 			}
 		}
@@ -403,8 +431,16 @@ func (g *Graph) DumpLayers() string {
 			}
 			deps = append(deps, fmt.Sprintf("%d%s", d.Producer, tag))
 		}
-		fmt.Fprintf(&b, "%4d %-28s %-9s out=%-18s w=%-10d ops=%-14d deps=[%s]\n",
-			l.ID, l.Name, l.Kind, l.Out, l.WeightBytes, l.Ops, strings.Join(deps, ","))
+		after := ""
+		if len(l.After) > 0 {
+			parts := make([]string, len(l.After))
+			for i, a := range l.After {
+				parts[i] = fmt.Sprint(a)
+			}
+			after = " after=[" + strings.Join(parts, ",") + "]"
+		}
+		fmt.Fprintf(&b, "%4d %-28s %-9s out=%-18s w=%-10d ops=%-14d deps=[%s]%s\n",
+			l.ID, l.Name, l.Kind, l.Out, l.WeightBytes, l.Ops, strings.Join(deps, ","), after)
 	}
 	return b.String()
 }
@@ -419,6 +455,11 @@ func (g *Graph) CriticalPathLen() int {
 		for _, dep := range g.Layers[i].Deps {
 			if depth[dep.Producer] > d {
 				d = depth[dep.Producer]
+			}
+		}
+		for _, a := range g.Layers[i].After {
+			if depth[a] > d {
+				d = depth[a]
 			}
 		}
 		if g.Layers[i].Kind != Input {

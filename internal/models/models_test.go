@@ -1,6 +1,8 @@
 package models
 
 import (
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -177,6 +179,16 @@ func TestRegistry(t *testing.T) {
 	names := Names()
 	if len(names) != 11 {
 		t.Fatalf("registry size = %d, want 11: %v", len(names), names)
+	}
+	// Scenario specs reference these names: the listing must be sorted and
+	// identical on every call, not subject to map iteration order.
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for i := 0; i < 5; i++ {
+		if !reflect.DeepEqual(Names(), names) {
+			t.Fatal("Names() not deterministic across calls")
+		}
 	}
 	for _, n := range names {
 		g, err := Build(n, 1)

@@ -40,6 +40,12 @@ func Build(name string, batch int) (*graph.Graph, error) {
 	return b(batch), nil
 }
 
+// Known reports whether name is a registered workload.
+func Known(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
 // Names lists the registered workloads in sorted order.
 func Names() []string {
 	out := make([]string, 0, len(registry))

@@ -38,6 +38,49 @@ type Result struct {
 	Schedule Schedule `json:"schedule"`
 	// Search carries SoMa-specific search statistics (absent for cocco).
 	Search *Search `json:"search,omitempty"`
+	// Scenario carries multi-model composition results (absent for
+	// single-model runs): per-component ownership, isolated per-model
+	// results, and the composed-vs-isolated aggregate comparison.
+	Scenario *ScenarioInfo `json:"scenario,omitempty"`
+}
+
+// ScenarioInfo is the scenario section of a composed run's payload.
+type ScenarioInfo struct {
+	Name string `json:"name"`
+	// Arrival is the composition mode: interleaved, sequential or
+	// prefill+decode.
+	Arrival string `json:"arrival"`
+	// Components lists the composed models in composition order.
+	Components []ScenarioComponent `json:"components"`
+	// IsolatedSumLatencyNS sums the isolated per-model latencies: the
+	// serial back-to-back execution bound the composed schedule is
+	// measured against.
+	IsolatedSumLatencyNS float64 `json:"isolated_sum_latency_ns"`
+	// IsolatedSumEnergyPJ sums the isolated per-model energies.
+	IsolatedSumEnergyPJ float64 `json:"isolated_sum_energy_pj"`
+	// ComposedSpeedup is IsolatedSumLatencyNS over the composed latency.
+	ComposedSpeedup float64 `json:"composed_speedup"`
+	// WeightedIsolatedCost is the priority-weighted geometric mean of the
+	// isolated per-model objective costs (weights normalized to sum 1) -
+	// the scenario's reference objective value.
+	WeightedIsolatedCost float64 `json:"weighted_isolated_cost"`
+}
+
+// ScenarioComponent is one composed model instance with its ownership
+// snapshot and isolated result.
+type ScenarioComponent struct {
+	Name   string  `json:"name"`
+	Model  string  `json:"model"`
+	Batch  int     `json:"batch"`
+	Weight float64 `json:"weight"`
+	// Layers / Ops / WeightBytes snapshot the component's layer ownership
+	// in the composed graph (workload.Placement).
+	Layers      int   `json:"layers"`
+	Ops         int64 `json:"ops"`
+	WeightBytes int64 `json:"weight_bytes"`
+	// Isolated is the component's stand-alone scheduling result on the
+	// same platform and parameters.
+	Isolated *Result `json:"isolated"`
 }
 
 // Workload identifies the scheduled model instance.

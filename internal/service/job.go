@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"soma/internal/models"
 	"soma/internal/report"
 	"soma/internal/soma"
+	"soma/internal/workload"
 )
 
 // State is a job's lifecycle position. Transitions are strictly
@@ -32,13 +34,20 @@ func (s State) Terminal() bool {
 // Request is the POST /v1/jobs body: which workload to schedule on which
 // platform, under what objective and search parameters. Zero values select
 // the CLI defaults, so {"model":"resnet50","batch":1,"hw":"edge"} is a
-// complete request.
+// complete request. A multi-model job instead sets exactly one of Scenario
+// (a built-in name from GET /v1/scenarios) or ScenarioSpec (an inline
+// declarative spec, schema in docs/workloads.md); scenario jobs leave
+// model/batch empty and run the soma framework.
 type Request struct {
-	Model string `json:"model"`
-	Batch int    `json:"batch"`
-	HW    string `json:"hw"`
+	Model string `json:"model,omitempty"`
+	Batch int    `json:"batch,omitempty"`
+	HW    string `json:"hw,omitempty"`
 	// Framework picks the scheduler: soma (default) or cocco.
 	Framework string `json:"framework,omitempty"`
+	// Scenario names a built-in multi-model scenario.
+	Scenario string `json:"scenario,omitempty"`
+	// ScenarioSpec is an inline scenario spec (workload.ParseSpec schema).
+	ScenarioSpec json.RawMessage `json:"scenario_spec,omitempty"`
 	// Objective defaults to EDP (n = m = 1).
 	Objective *report.Objective `json:"objective,omitempty"`
 	Params    *ParamsRequest    `json:"params,omitempty"`
@@ -56,31 +65,53 @@ type ParamsRequest struct {
 	Beta2   int    `json:"beta2,omitempty"`
 }
 
-// normalize fills defaults and validates the request against the model and
-// hardware registries, returning the resolved run inputs. It is called at
-// submit time so bad requests fail with 400 instead of a failed job.
-func (r *Request) normalize() (spec report.Spec, par soma.Params, err error) {
-	if r.Batch == 0 {
-		r.Batch = 1
-	}
-	if r.Model == "" || !knownModel(r.Model) {
-		return spec, par, fmt.Errorf("unknown model %q (GET /v1/models lists them)", r.Model)
-	}
-	if r.Batch < 0 {
-		return spec, par, fmt.Errorf("batch must be positive, got %d", r.Batch)
+// runInputs are the resolved execution inputs of one job: the payload spec,
+// the search parameters, and - for multi-model jobs - the scenario.
+type runInputs struct {
+	spec report.Spec
+	par  soma.Params
+	// scenario is nil for single-model jobs.
+	scenario *workload.Scenario
+}
+
+// normalize fills defaults and validates the request against the model,
+// hardware and scenario registries, returning the resolved run inputs. It is
+// called at submit time so bad requests fail with 400 instead of a failed
+// job.
+func (r *Request) normalize() (in runInputs, err error) {
+	scenario := r.Scenario != "" || len(r.ScenarioSpec) > 0
+	switch {
+	case scenario && (r.Model != "" || r.Batch != 0):
+		return in, fmt.Errorf("scenario jobs must not set model/batch")
+	case scenario && r.Scenario != "" && len(r.ScenarioSpec) > 0:
+		return in, fmt.Errorf("set either scenario or scenario_spec, not both")
+	case !scenario:
+		if r.Batch == 0 {
+			r.Batch = 1
+		}
+		if r.Model == "" || !models.Known(r.Model) {
+			return in, fmt.Errorf("unknown model %q (GET /v1/models lists them)", r.Model)
+		}
+		if r.Batch < 0 {
+			return in, fmt.Errorf("batch must be positive, got %d", r.Batch)
+		}
 	}
 	if r.HW == "" {
 		r.HW = "edge"
 	}
 	if _, err := exp.Platform(r.HW); err != nil {
-		return spec, par, fmt.Errorf("unknown hw %q (GET /v1/hw lists them)", r.HW)
+		return in, fmt.Errorf("unknown hw %q (GET /v1/hw lists them)", r.HW)
 	}
 	switch r.Framework {
 	case "":
 		r.Framework = "soma"
-	case "soma", "cocco":
+	case "soma":
+	case "cocco":
+		if scenario {
+			return in, fmt.Errorf("scenario jobs run the soma framework only")
+		}
 	default:
-		return spec, par, fmt.Errorf("unknown framework %q (soma|cocco)", r.Framework)
+		return in, fmt.Errorf("unknown framework %q (soma|cocco)", r.Framework)
 	}
 	if r.Objective == nil {
 		r.Objective = &report.Objective{N: 1, M: 1}
@@ -89,34 +120,43 @@ func (r *Request) normalize() (spec report.Spec, par soma.Params, err error) {
 	if p == nil {
 		p = &ParamsRequest{}
 	}
-	par, err = soma.ProfileParams(p.Profile)
+	in.par, err = soma.ProfileParams(p.Profile)
 	if err != nil {
-		return spec, par, err
+		return in, err
 	}
 	if p.Seed != 0 {
-		par.Seed = p.Seed
+		in.par.Seed = p.Seed
 	}
-	par.Chains = p.Chains
-	par.Workers = p.Workers
+	in.par.Chains = p.Chains
+	in.par.Workers = p.Workers
 	if p.Beta1 > 0 {
-		par.Beta1 = p.Beta1
+		in.par.Beta1 = p.Beta1
 	}
 	if p.Beta2 > 0 {
-		par.Beta2 = p.Beta2
-		par.Stage2MaxIters = 1 << 20
+		in.par.Beta2 = p.Beta2
+		in.par.Stage2MaxIters = 1 << 20
 	}
-	spec = report.Spec{Model: r.Model, Batch: r.Batch, HW: r.HW,
-		Framework: r.Framework, Seed: par.Seed, Obj: *r.Objective}
-	return spec, par, nil
-}
-
-func knownModel(name string) bool {
-	for _, n := range models.Names() {
-		if n == name {
-			return true
+	if scenario {
+		var sc workload.Scenario
+		if r.Scenario != "" {
+			sc, err = workload.Builtin(r.Scenario)
+			if err != nil {
+				return in, fmt.Errorf("%v (GET /v1/scenarios lists them)", err)
+			}
+		} else if sc, err = workload.ParseSpec(r.ScenarioSpec); err != nil {
+			return in, err
 		}
+		in.scenario = &sc
+		// Only HW and Obj feed a scenario run; exp.RunScenarioCtx builds
+		// the payload header itself, so nothing else is derived here that
+		// could drift from what the payload reports.
+		in.spec = report.Spec{HW: r.HW, Framework: r.Framework,
+			Seed: in.par.Seed, Obj: *r.Objective}
+		return in, nil
 	}
-	return false
+	in.spec = report.Spec{Model: r.Model, Batch: r.Batch, HW: r.HW,
+		Framework: r.Framework, Seed: in.par.Seed, Obj: *r.Objective}
+	return in, nil
 }
 
 // Job is one scheduling request moving through the queue. All fields are
@@ -125,9 +165,8 @@ type Job struct {
 	ID    string
 	State State
 	Req   Request
-	// spec/par are the resolved run inputs (normalize ran at submit).
-	spec report.Spec
-	par  soma.Params
+	// in holds the resolved run inputs (normalize ran at submit).
+	in runInputs
 
 	Result *report.Result
 	Err    string

@@ -16,6 +16,7 @@ import (
 	"soma/internal/report"
 	"soma/internal/sim"
 	"soma/internal/soma"
+	"soma/internal/workload"
 )
 
 // Config sizes the service. Zero values select the defaults.
@@ -139,11 +140,11 @@ func (s *Server) runJob(id string) {
 	if !s.store.start(id, cancel) {
 		return // canceled while queued
 	}
-	spec, par, ok := s.store.inputs(id)
+	in, ok := s.store.inputs(id)
 	if !ok {
 		return
 	}
-	res, err := s.execute(ctx, spec, par)
+	res, err := s.execute(ctx, in)
 	switch {
 	case err == nil:
 		s.store.finish(id, StateDone, "", func(j *Job) { j.Result = res })
@@ -155,9 +156,21 @@ func (s *Server) runJob(id string) {
 }
 
 // execute resolves the run inputs and performs the search. It is the same
-// flow as cmd/soma, built on the shared report.Spec so both paths emit
-// byte-identical payloads for a fixed seed.
-func (s *Server) execute(ctx context.Context, spec report.Spec, par soma.Params) (*report.Result, error) {
+// flow as cmd/soma, built on the shared report.Spec (and, for scenarios, the
+// shared exp.RunScenarioCtx) so both paths emit byte-identical payloads for a
+// fixed seed.
+func (s *Server) execute(ctx context.Context, in runInputs) (*report.Result, error) {
+	spec, par := in.spec, in.par
+	obj := soma.Objective{N: spec.Obj.N, M: spec.Obj.M}
+	if in.scenario != nil {
+		return exp.RunScenarioCtx(ctx, exp.ScenarioRun{
+			Scenario: *in.scenario,
+			Platform: spec.HW,
+			Obj:      obj,
+			Par:      par,
+			Cache:    s.cache,
+		})
+	}
 	cfg, err := exp.Platform(spec.HW)
 	if err != nil {
 		return nil, err
@@ -166,7 +179,6 @@ func (s *Server) execute(ctx context.Context, spec report.Spec, par soma.Params)
 	if err != nil {
 		return nil, err
 	}
-	obj := soma.Objective{N: spec.Obj.N, M: spec.Obj.M}
 	switch spec.Framework {
 	case "cocco":
 		res, err := cocco.New(g, cfg, obj, par).RunContext(ctx)
@@ -196,6 +208,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/hw", s.handleHW)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -244,7 +257,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"models": models.Names()})
+	writeJSON(w, http.StatusOK, map[string][]string{"models": exp.Registry().Models})
+}
+
+// handleScenarios serves the built-in scenario library: every entry is a
+// complete declarative spec a client can resubmit verbatim as scenario_spec.
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]workload.Scenario{"scenarios": workload.Builtins()})
 }
 
 // HWInfo is one /v1/hw registry entry.
@@ -288,12 +307,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	spec, par, err := req.normalize()
+	in, err := req.normalize()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	v := s.store.Add(req, spec, par)
+	v := s.store.Add(req, in)
 	select {
 	case s.queue <- v.ID:
 	default:

@@ -5,9 +5,6 @@ import (
 	"fmt"
 	"sync"
 	"time"
-
-	"soma/internal/report"
-	"soma/internal/soma"
 )
 
 // Store is the in-memory job table. It owns every state transition so the
@@ -58,9 +55,9 @@ func (st *Store) evict() {
 	st.order = kept
 }
 
-// Add registers a new queued job (req already normalized into spec/par) and
-// returns its snapshot.
-func (st *Store) Add(req Request, spec report.Spec, par soma.Params) View {
+// Add registers a new queued job (req already normalized into its run
+// inputs) and returns its snapshot.
+func (st *Store) Add(req Request, in runInputs) View {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.seq++
@@ -68,8 +65,7 @@ func (st *Store) Add(req Request, spec report.Spec, par soma.Params) View {
 		ID:      fmt.Sprintf("job-%06d", st.seq),
 		State:   StateQueued,
 		Req:     req,
-		spec:    spec,
-		par:     par,
+		in:      in,
 		Created: time.Now(),
 		done:    make(chan struct{}),
 	}
@@ -211,12 +207,12 @@ func (st *Store) CancelAll() {
 }
 
 // inputs hands a worker the resolved run inputs (immutable after Add).
-func (st *Store) inputs(id string) (spec report.Spec, par soma.Params, ok bool) {
+func (st *Store) inputs(id string) (in runInputs, ok bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	j, found := st.jobs[id]
 	if !found {
-		return report.Spec{}, soma.Params{}, false
+		return runInputs{}, false
 	}
-	return j.spec, j.par, true
+	return j.in, true
 }

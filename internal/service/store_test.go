@@ -2,13 +2,10 @@ package service
 
 import (
 	"testing"
-
-	"soma/internal/report"
-	"soma/internal/soma"
 )
 
 func addJob(st *Store) View {
-	return st.Add(Request{Model: "resnet50"}, report.Spec{}, soma.Params{})
+	return st.Add(Request{Model: "resnet50"}, runInputs{})
 }
 
 func finishJob(st *Store, id string) {

@@ -190,6 +190,19 @@ func New(g *graph.Graph, layers []graph.LayerID, t int) (*Plan, error) {
 			}
 		}
 	}
+	// Barrier edges demand all predecessor tiles before any successor tile;
+	// the tile-major enumeration of a multi-tile FLG interleaves them, so a
+	// barrier may only sit inside an FLG that runs as a single tile.
+	if tiles > 1 {
+		for _, id := range layers {
+			for _, a := range g.Layer(id).After {
+				if _, in := pos[a]; in {
+					return nil, fmt.Errorf("tiling: barrier %s->%s inside multi-tile FLG (%d tiles)",
+						g.Layer(a).Name, g.Layer(id).Name, tiles)
+				}
+			}
+		}
+	}
 
 	p := &Plan{
 		Layers:   append([]graph.LayerID(nil), layers...),

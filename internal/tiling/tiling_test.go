@@ -213,6 +213,29 @@ func TestPlanRejectsGlobalDepInsideFLG(t *testing.T) {
 	}
 }
 
+// TestPlanRejectsBarrierInsideFLG: a barrier demands every predecessor tile
+// before any successor tile; the tile-major enumeration of a multi-tile FLG
+// interleaves them, so such groups are illegal (single-tile FLGs are fine).
+func TestPlanRejectsBarrierInsideFLG(t *testing.T) {
+	g := graph.New("barrier", 1)
+	inA := g.Add(graph.Layer{Name: "inA", Kind: graph.Input, Out: sh(1, 8, 16, 1)})
+	a := g.Add(graph.Layer{Name: "a", Kind: graph.GEMM, Deps: []graph.Dep{{Producer: inA}},
+		Out: sh(1, 8, 16, 1), WeightBytes: 64, Ops: 100})
+	inB := g.Add(graph.Layer{Name: "inB", Kind: graph.Input, Out: sh(1, 8, 16, 1)})
+	b := g.Add(graph.Layer{Name: "b", Kind: graph.GEMM, Deps: []graph.Dep{{Producer: inB}},
+		After: []graph.LayerID{a}, Out: sh(1, 8, 16, 1), WeightBytes: 64, Ops: 100})
+	if _, err := New(g, []graph.LayerID{a, b}, 4); err == nil {
+		t.Fatal("barrier inside multi-tile FLG must be rejected")
+	}
+	if _, err := New(g, []graph.LayerID{a, b}, 1); err != nil {
+		t.Fatalf("single-tile FLG with barrier rejected: %v", err)
+	}
+	// The barrier only binds groups containing both endpoints.
+	if _, err := New(g, []graph.LayerID{b}, 4); err != nil {
+		t.Fatalf("barrier successor alone rejected: %v", err)
+	}
+}
+
 func TestPlanEmptyFLG(t *testing.T) {
 	g, _ := convChain(t)
 	if _, err := New(g, nil, 2); err == nil {

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builtins is the library of ready-made scenarios. Keep entries buildable on
+// the edge platform: the CLI default and the CI smoke step both run them
+// there. Names must be unique and stable - scenario specs and the somad API
+// reference them.
+var builtins = map[string]func() Scenario{
+	// Two CNN tenants sharing one accelerator: a weight-heavy network next
+	// to a lightweight one, freely interleaved so the scheduler can hide
+	// one tenant's DRAM traffic under the other's compute.
+	"multi-tenant-cnn": func() Scenario {
+		return Scenario{
+			Name:    "multi-tenant-cnn",
+			Arrival: Interleaved,
+			Components: []Component{
+				{Name: "resnet", Model: "resnet50", Batch: 1, Weight: 2},
+				{Name: "mobile", Model: "mobilenetv2", Batch: 1, Weight: 1},
+			},
+		}
+	},
+	// The LLM serving pair: one prefill pass followed by a decode step
+	// whose KV-cache reads arrive only after prefill completes.
+	"gpt2s-prefill-decode": func() Scenario {
+		return Scenario{
+			Name:    "gpt2s-prefill-decode",
+			Arrival: PrefillDecode,
+			Components: []Component{
+				{Name: "prefill", Model: "gpt2s-prefill", Batch: 1, Weight: 1},
+				{Name: "decode", Model: "gpt2s-decode", Batch: 1, Weight: 1},
+			},
+		}
+	},
+	// A vision model sharing the accelerator with a bandwidth-bound LLM
+	// decode step - the compute-heavy/bandwidth-heavy mix where
+	// cross-model DRAM scheduling has the most room.
+	"vision-llm-mix": func() Scenario {
+		return Scenario{
+			Name:    "vision-llm-mix",
+			Arrival: Interleaved,
+			Components: []Component{
+				{Name: "vision", Model: "resnet50", Batch: 1, Weight: 1},
+				{Name: "decode", Model: "gpt2s-decode", Batch: 1, Weight: 1},
+			},
+		}
+	},
+	// The same two CNN tenants as multi-tenant-cnn, but strictly
+	// serialized in priority order - the baseline composed runs are
+	// compared against (examples/multi_tenant contrasts the two).
+	"sequential-cnn-pair": func() Scenario {
+		return Scenario{
+			Name:    "sequential-cnn-pair",
+			Arrival: Sequential,
+			Components: []Component{
+				{Name: "resnet", Model: "resnet50", Batch: 1, Weight: 2},
+				{Name: "mobile", Model: "mobilenetv2", Batch: 1, Weight: 1},
+			},
+		}
+	},
+}
+
+// BuiltinNames lists the built-in scenarios in sorted order.
+func BuiltinNames() []string {
+	out := make([]string, 0, len(builtins))
+	for k := range builtins {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Builtin returns the named built-in scenario, normalized and validated.
+func Builtin(name string) (Scenario, error) {
+	b, ok := builtins[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("workload: unknown built-in scenario %q (known: %v)", name, BuiltinNames())
+	}
+	s := b()
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("workload: built-in scenario %q invalid: %w", name, err)
+	}
+	return s, nil
+}
+
+// Builtins returns every built-in scenario in name order.
+func Builtins() []Scenario {
+	names := BuiltinNames()
+	out := make([]Scenario, 0, len(names))
+	for _, n := range names {
+		s, err := Builtin(n)
+		if err != nil {
+			panic(err) // the library is static; an invalid entry is a build bug
+		}
+		out = append(out, s)
+	}
+	return out
+}
