@@ -8,7 +8,7 @@
 //
 //	soma -model resnet50 -batch 1 -hw edge
 //	soma -model gpt2xl-prefill -batch 4 -hw cloud -profile default
-//	soma -model resnet50 -chains 8 -workers 4
+//	soma -model resnet50 -chains 8 -workers 4 -progress
 //	soma -model resnet50 -framework cocco -trace
 //	soma -model resnet50 -ir out.ir -dram 32 -buf 16
 //	soma -scenario multi-tenant-cnn -json
@@ -17,14 +17,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"soma/internal/cocco"
 	"soma/internal/core"
 	"soma/internal/coresched"
+	"soma/internal/engine"
 	"soma/internal/exp"
 	"soma/internal/isa"
 	"soma/internal/models"
@@ -42,7 +43,7 @@ func main() {
 	dram := flag.Float64("dram", 0, "override DRAM bandwidth (GB/s)")
 	buf := flag.Int64("buf", 0, "override GBUF size (MB)")
 	profile := flag.String("profile", "default", "search profile: fast|default|paper")
-	framework := flag.String("framework", "soma", "scheduler: soma|cocco")
+	framework := flag.String("framework", "soma", "scheduler backend: "+strings.Join(engine.Backends(), "|"))
 	seed := flag.Int64("seed", 1, "search seed")
 	chains := flag.Int("chains", 0, "portfolio chains per annealing stage (<=1 = serial)")
 	workers := flag.Int("workers", 0, "goroutines running portfolio chains (<=1 = serial; result is identical for any value)")
@@ -53,6 +54,7 @@ func main() {
 	irOut := flag.String("ir", "", "write the lowered instruction stream to this file")
 	showTrace := flag.Bool("trace", false, "print the execution graph")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable result payload (same schema as the somad API) instead of the human report")
+	progress := flag.Bool("progress", false, "stream live search progress (stage transitions, chain improvements, cache hit rates) to stderr")
 	scenario := flag.String("scenario", "", "schedule a multi-model scenario: a built-in name (see -list) or a JSON spec file")
 	list := flag.Bool("list", false, "list registered models, platforms and built-in scenarios, then exit")
 	flag.Parse()
@@ -87,6 +89,10 @@ func main() {
 		par.Stage2MaxIters = 1 << 20
 	}
 	obj := soma.Objective{N: *objN, M: *objM}
+	var hooks *engine.Hooks
+	if *progress {
+		hooks = &engine.Hooks{Event: printProgress}
+	}
 
 	if *scenario != "" {
 		// Mirror the somad API contract: a scenario request carries its
@@ -104,54 +110,54 @@ func main() {
 		case *showTrace || *irOut != "":
 			fatal(fmt.Errorf("-trace and -ir are not supported with -scenario"))
 		}
-		runScenario(*scenario, *hwName, obj, par, *jsonOut)
+		runScenario(*scenario, *hwName, obj, par, *jsonOut, hooks)
 		return
 	}
 
-	g, err := models.Build(*model, *batch)
+	// One engine.Request is the whole search construction: the backend
+	// registry, cache scoping, cancellation and payload assembly all live
+	// behind engine.Run (the somad daemon runs the identical path, so a
+	// fixed seed gives byte-identical -json payloads over both).
+	req := engine.Request{
+		Backend:   *framework,
+		Model:     *model,
+		Batch:     *batch,
+		Platform:  *hwName,
+		Objective: obj,
+		Params:    par,
+	}
+	if *dram > 0 || *buf > 0 {
+		req.Config = &cfg
+	}
+
+	if !*jsonOut {
+		g, err := models.Build(*model, *batch)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("workload: %s", g.Summary())
+		fmt.Printf("hardware: %s\n", cfg.String())
+		// Hand the already-built graph to the engine; Model still labels
+		// the payload, so the bytes match the -json path exactly.
+		req.Graph = g
+	}
+
+	payload, err := engine.Run(context.Background(), req, hooks)
 	if err != nil {
 		fatal(err)
 	}
-	spec := report.Spec{Model: *model, Batch: *batch, HW: *hwName,
-		Framework: *framework, Seed: *seed, Obj: report.Objective{N: *objN, M: *objM}}
-
-	if !*jsonOut {
-		fmt.Printf("workload: %s", g.Summary())
-		fmt.Printf("hardware: %s\n", cfg.String())
-	}
-
-	var sched *core.Schedule
-	var metrics *sim.Metrics
-	var payload *report.Result
-	switch *framework {
-	case "cocco":
-		res, err := cocco.New(g, cfg, obj, par).Run()
-		if err != nil {
-			fatal(err)
+	sched, metrics := payload.Raw.Schedule, payload.Raw.Metrics
+	if st := payload.Search; st != nil && !*jsonOut {
+		fmt.Printf("buffer allocator: %d iterations, stage-1 budget %s\n",
+			st.AllocIters, report.MB(st.Stage1Budget))
+		if st.Chains > 1 {
+			fmt.Printf("portfolio: %d chains on %d workers, stage-2 winner chain %d\n",
+				st.Chains, st.Workers, st.BestChain)
 		}
-		sched, metrics = res.Schedule, res.Metrics
-		payload = report.FromCocco(spec, cfg, res)
-	case "soma":
-		res, err := soma.New(g, cfg, obj, par).Run()
-		if err != nil {
-			fatal(err)
-		}
-		sched, metrics = res.Schedule, res.Stage2.Metrics
-		payload = report.FromSoma(spec, cfg, res)
-		if !*jsonOut {
-			fmt.Printf("buffer allocator: %d iterations, stage-1 budget %s\n",
-				res.AllocIters, report.MB(res.Stage1Budget))
-			if st := res.Stage2.Stats; st.Chains > 1 {
-				fmt.Printf("portfolio: %d chains on %d workers, stage-2 winner chain %d\n",
-					st.Chains, st.Workers, st.BestChain)
-			}
-			fmt.Printf("eval cache: %s hit rate, %d entries\n",
-				report.HitRate(res.Cache.Hits, res.Cache.Misses), res.Cache.Entries)
-			fmt.Printf("stage 1: latency %s, energy %.3f mJ\n",
-				report.Ms(res.Stage1.Metrics.LatencyNS), res.Stage1.Metrics.EnergyPJ/1e9)
-		}
-	default:
-		fatal(fmt.Errorf("unknown framework %q", *framework))
+		fmt.Printf("eval cache: %s hit rate, %d entries\n",
+			report.HitRate(st.CacheHits, st.CacheMisses), st.CacheEntries)
+		fmt.Printf("stage 1: latency %s, energy %.3f mJ\n",
+			report.Ms(payload.Raw.Stage1Metrics.LatencyNS), payload.Raw.Stage1Metrics.EnergyPJ/1e9)
 	}
 
 	if *jsonOut {
@@ -209,13 +215,15 @@ func resolveScenario(arg string) (workload.Scenario, error) {
 }
 
 // runScenario is the -scenario flow: compose, schedule, and report. The JSON
-// payload is the exact one the somad jobs API serves for the same request.
-func runScenario(arg, hwName string, obj soma.Objective, par soma.Params, jsonOut bool) {
+// payload is the exact one the somad jobs API serves for the same request
+// (both route through engine.Run).
+func runScenario(arg, hwName string, obj soma.Objective, par soma.Params, jsonOut bool, hooks *engine.Hooks) {
 	sc, err := resolveScenario(arg)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := exp.RunScenario(exp.ScenarioRun{Scenario: sc, Platform: hwName, Obj: obj, Par: par})
+	res, err := engine.Run(context.Background(), engine.Request{
+		Scenario: &sc, Platform: hwName, Objective: obj, Params: par}, hooks)
 	if err != nil {
 		fatal(err)
 	}
@@ -287,6 +295,10 @@ func printCatalog() {
 		}
 		fmt.Printf("  %s (%s): %s\n", sc.Name, sc.Arrival, strings.Join(parts, " + "))
 	}
+	fmt.Println("backends:")
+	for _, b := range engine.List() {
+		fmt.Printf("  %s: %s\n", b.Name, b.Description)
+	}
 }
 
 func printReport(sched *core.Schedule, metrics *sim.Metrics) {
@@ -305,6 +317,38 @@ func printReport(sched *core.Schedule, metrics *sim.Metrics) {
 	t.Add("LGs / FLGs", fmt.Sprintf("%d / %d", st.LGs, st.FLGs))
 	t.Add("tiles / DRAM tensors", fmt.Sprintf("%d / %d", st.Tiles, st.Tensors))
 	fmt.Println(t.String())
+}
+
+// printProgress is the -progress ticker: one stderr line per engine event,
+// prefixed with the backend (and scenario component, when present). It
+// observes the stream only, so -json output stays byte-identical with or
+// without it.
+func printProgress(e engine.Event) {
+	who := e.Backend
+	if e.Component != "" {
+		who += "/" + e.Component
+	}
+	switch e.Kind {
+	case "start":
+		fmt.Fprintf(os.Stderr, "[%s] search started\n", who)
+	case "stage":
+		fmt.Fprintf(os.Stderr, "[%s] %s start (alloc iter %d, budget %s)\n",
+			who, e.Stage, e.AllocIter, report.MB(e.Budget))
+	case "improve":
+		fmt.Fprintf(os.Stderr, "[%s] %s chain %d iter %d best cost %s\n",
+			who, e.Stage, e.Chain, e.Iter, report.E(e.Cost))
+	case "stage-done":
+		fmt.Fprintf(os.Stderr, "[%s] %s done, cost %s\n", who, e.Stage, report.E(e.Cost))
+	case "cache":
+		if e.Cache != nil {
+			fmt.Fprintf(os.Stderr, "[%s] eval cache %s, %d entries\n",
+				who, report.HitRate(e.Cache.Hits, e.Cache.Misses), e.Cache.Entries)
+		}
+	case "done":
+		fmt.Fprintf(os.Stderr, "[%s] finished, cost %s\n", who, report.E(e.Cost))
+	case "error":
+		fmt.Fprintf(os.Stderr, "[%s] failed: %s\n", who, e.Err)
+	}
 }
 
 func fatal(err error) {

@@ -1,11 +1,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync/atomic"
 
-	"soma/internal/cocco"
+	"soma/internal/engine"
 	"soma/internal/exp"
 	"soma/internal/models"
 	"soma/internal/report"
@@ -20,16 +21,12 @@ func (h *harness) fig2() error {
 	t := report.New("Fig.2 / Sec.III-B: resource utilization under the Cocco double-buffer strategy (edge, batch 1)",
 		"workload", "dram-util", "compute-util", "latency", "overlap-headroom")
 	for _, w := range []string{"resnet50", "transformer-large"} {
-		g, err := models.Build(w, 1)
+		base, err := engine.Run(context.Background(), engine.Request{Backend: "cocco",
+			Model: w, Batch: 1, Platform: "edge", Objective: soma.EDP(), Params: h.par}, nil)
 		if err != nil {
 			return err
 		}
-		cfg, _ := exp.Platform("edge")
-		base, err := cocco.New(g, cfg, soma.EDP(), h.par).Run()
-		if err != nil {
-			return err
-		}
-		m := base.Metrics
+		m := base.Raw.Metrics
 		head := 1 - maxf(m.DRAMUtilization, m.ComputeUtilization)
 		t.Add(w, report.Pct(m.DRAMUtilization), report.Pct(m.ComputeUtilization),
 			report.Ms(m.LatencyNS), report.Pct(head))
@@ -255,20 +252,21 @@ func (h *harness) llm() error {
 		{"edge", "gpt2s-decode", models.GPT2Small()},
 		{"cloud", "gpt2xl-decode", models.GPT2XL()},
 	} {
-		hwCfg, _ := exp.Platform(pc.platform)
 		for _, b := range exp.Batches {
 			g, err := models.Build(pc.model, b)
 			if err != nil {
 				return err
 			}
-			res, err := soma.New(g, hwCfg, soma.EDP(), h.par).Run()
+			res, err := engine.Run(context.Background(), engine.Request{Graph: g,
+				Model: pc.model, Batch: b, Platform: pc.platform,
+				Objective: soma.EDP(), Params: h.par}, nil)
 			if err != nil {
 				t.Add(pc.model, fmt.Sprint(b), "ERR: "+err.Error())
 				continue
 			}
 			kv := float64(2*pc.cfg.Layers*b*pc.cfg.SeqLen*pc.cfg.DModel) /
 				float64(g.TotalWeightBytes()-int64(2*pc.cfg.Layers*b*pc.cfg.SeqLen*pc.cfg.DModel))
-			m := res.Stage2.Metrics
+			m := res.Raw.Metrics
 			t.Add(pc.model, fmt.Sprint(b), report.Pct(m.Utilization),
 				report.Pct(m.DRAMUtilization), report.F(kv, 2), report.Ms(m.LatencyNS))
 		}
@@ -280,11 +278,6 @@ func (h *harness) llm() error {
 
 // ablate quantifies SoMa's design choices on ResNet-50 (edge, batch 1).
 func (h *harness) ablate() error {
-	g, err := models.Build("resnet50", 1)
-	if err != nil {
-		return err
-	}
-	cfg, _ := exp.Platform("edge")
 	variants := []struct {
 		name string
 		ab   soma.Ablation
@@ -301,7 +294,8 @@ func (h *harness) ablate() error {
 	for _, v := range variants {
 		par := h.par
 		par.Ablate = v.ab
-		res, err := soma.New(g, cfg, soma.EDP(), par).Run()
+		res, err := engine.Run(context.Background(), engine.Request{Model: "resnet50",
+			Batch: 1, Platform: "edge", Objective: soma.EDP(), Params: par}, nil)
 		if err != nil {
 			t.Add(v.name, "ERR: "+err.Error())
 			continue
@@ -309,10 +303,10 @@ func (h *harness) ablate() error {
 		if v.name == "full" {
 			fullCost = res.Cost
 		}
-		m := res.Stage2.Metrics
+		m := res.Raw.Metrics
 		t.Add(v.name, report.Ms(m.LatencyNS), report.F(m.EnergyPJ/1e9, 3),
-			report.Pct(m.Utilization), fmt.Sprint(res.Encoding.NumLGs()),
-			fmt.Sprint(res.Encoding.NumFLGs()), report.X(res.Cost/fullCost))
+			report.Pct(m.Utilization), fmt.Sprint(res.Raw.Encoding.NumLGs()),
+			fmt.Sprint(res.Raw.Encoding.NumFLGs()), report.X(res.Cost/fullCost))
 	}
 	return h.emit(t, "ablate.csv")
 }

@@ -9,25 +9,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
+	"soma/internal/engine"
 	"soma/internal/hw"
 	"soma/internal/isa"
-	"soma/internal/models"
+	"soma/internal/report"
 	"soma/internal/soma"
 )
 
 func main() {
-	g := models.ResNet50(4)
 	par := soma.DefaultParams()
 
 	type point struct {
 		bw    float64
 		bufMB int64
 		ms    float64
-		res   *soma.Result
+		res   *report.Result
 		cfg   hw.Config
 	}
 	var pts []point
@@ -43,12 +44,16 @@ func main() {
 		fmt.Printf("%8gGB", bw)
 		for _, bufMB := range bufs {
 			cfg := hw.Edge().WithDRAM(bw).WithGBuf(bufMB << 20)
-			res, err := soma.New(g, cfg, soma.EDP(), par).Run()
+			// Config overrides the platform preset; the engine still
+			// resolves the model and assembles the payload.
+			res, err := engine.Run(context.Background(), engine.Request{
+				Model: "resnet50", Batch: 4, Platform: "edge", Config: &cfg,
+				Params: par}, nil)
 			if err != nil {
 				fmt.Printf("  %8s", "inf")
 				continue
 			}
-			ms := res.Stage2.Metrics.LatencyNS / 1e6
+			ms := res.Metrics.LatencyNS / 1e6
 			pts = append(pts, point{bw, bufMB, ms, res, cfg})
 			if ms < best.ms {
 				best = pts[len(pts)-1]
@@ -71,7 +76,7 @@ func main() {
 		pick.bw, pick.bufMB, pick.ms)
 
 	// Lower the recommended schedule to instructions.
-	prog, err := isa.Generate(pick.res.Schedule, pick.cfg.GBufBytes)
+	prog, err := isa.Generate(pick.res.Raw.Schedule, pick.cfg.GBufBytes)
 	if err != nil {
 		log.Fatal(err)
 	}

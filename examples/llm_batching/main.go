@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
+	"soma/internal/engine"
 	"soma/internal/hw"
 	"soma/internal/models"
 	"soma/internal/soma"
@@ -23,11 +25,12 @@ func main() {
 
 	var cfg hw.Config
 	var gc models.GPTConfig
+	var platform string
 	switch *model {
 	case "gpt2s":
-		cfg, gc = hw.Edge(), models.GPT2Small()
+		cfg, gc, platform = hw.Edge(), models.GPT2Small(), "edge"
 	case "gpt2xl":
-		cfg, gc = hw.Cloud(), models.GPT2XL()
+		cfg, gc, platform = hw.Cloud(), models.GPT2XL(), "cloud"
 	default:
 		log.Fatalf("unknown model %q", *model)
 	}
@@ -39,12 +42,13 @@ func main() {
 	prevUtil := 0.0
 	for _, b := range []int{1, 2, 4, 8, 16, 32, 64} {
 		g := models.GPT2Decode(gc, b)
-		res, err := soma.New(g, cfg, soma.EDP(), par).Run()
+		res, err := engine.Run(context.Background(), engine.Request{Graph: g,
+			Model: *model + "-decode", Batch: b, Platform: platform, Params: par}, nil)
 		if err != nil {
 			fmt.Printf("%5d  infeasible: %v\n", b, err)
 			continue
 		}
-		m := res.Stage2.Metrics
+		m := res.Metrics
 		kv := float64(2*gc.Layers*b*gc.SeqLen*gc.DModel) /
 			float64(g.TotalWeightBytes()-2*int64(gc.Layers)*int64(b)*int64(gc.SeqLen)*int64(gc.DModel))
 		growth := ""

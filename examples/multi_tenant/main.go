@@ -11,11 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"soma/internal/exp"
+	"soma/internal/engine"
 	"soma/internal/soma"
 	"soma/internal/workload"
 )
@@ -46,10 +47,10 @@ func main() {
 
 	var isolated float64
 	for _, arrival := range []workload.ArrivalMode{workload.Sequential, workload.Interleaved} {
-		res, err := exp.RunScenario(exp.ScenarioRun{
-			Scenario: scenario(string(arrival)+"-pair", arrival),
-			Platform: "edge", Obj: soma.EDP(), Par: par,
-		})
+		sc := scenario(string(arrival)+"-pair", arrival)
+		res, err := engine.Run(context.Background(), engine.Request{
+			Scenario: &sc, Platform: "edge", Params: par,
+		}, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,17 +1,19 @@
-// Quickstart: build a small DNN with the graph API, schedule it with SoMa on
-// the edge accelerator preset, and print the report plus the execution
-// graph. This is the minimal end-to-end path through the library:
+// Quickstart: build a small DNN with the graph API, schedule it through the
+// engine on the edge accelerator preset, and print the report plus the
+// execution graph. This is the minimal end-to-end path through the library:
 //
-//	graph -> soma.Explorer -> schedule -> evaluator metrics -> trace.
+//	graph -> engine.Request -> engine.Run -> payload (+ raw schedule) -> trace.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"soma/internal/coresched"
+	"soma/internal/engine"
 	"soma/internal/graph"
 	"soma/internal/hw"
 	"soma/internal/sim"
@@ -54,25 +56,27 @@ func main() {
 	}
 	fmt.Print(g.Summary())
 
-	// Explore the DRAM Communication Scheduling Space.
+	// Explore the DRAM Communication Scheduling Space: one engine.Request
+	// with an explicit graph (a registry model name works the same way).
 	cfg := hw.Edge()
-	res, err := soma.New(g, cfg, soma.EDP(), soma.DefaultParams()).Run()
+	res, err := engine.Run(context.Background(), engine.Request{
+		Graph: g, Platform: "edge", Params: soma.DefaultParams()}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := res.Stage2.Metrics
-	fmt.Printf("encoding: %s\n", res.Encoding)
+	m := res.Raw.Metrics
+	fmt.Printf("encoding: %s\n", res.Raw.Encoding)
 	fmt.Printf("latency:  %.3f ms  (stage 1: %.3f ms)\n",
-		m.LatencyNS/1e6, res.Stage1.Metrics.LatencyNS/1e6)
+		m.LatencyNS/1e6, res.Raw.Stage1Metrics.LatencyNS/1e6)
 	fmt.Printf("energy:   %.3f mJ\n", m.EnergyPJ/1e9)
 	fmt.Printf("util:     %.2f%% of peak (bound %.2f%%)\n",
 		100*m.Utilization, 100*m.TheoreticalMaxUtil)
 
 	// Replay with tracing to draw the DRAM-COMPUTE diagram.
-	traced, err := sim.Evaluate(res.Schedule, coresched.New(cfg), sim.Options{Trace: true})
+	traced, err := sim.Evaluate(res.Raw.Schedule, coresched.New(cfg), sim.Options{Trace: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(trace.Render(res.Schedule, traced, 100))
-	fmt.Print(trace.Legend(res.Schedule))
+	fmt.Print(trace.Render(res.Raw.Schedule, traced, 100))
+	fmt.Print(trace.Legend(res.Raw.Schedule))
 }

@@ -7,14 +7,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"soma/internal/cocco"
 	"soma/internal/core"
-	"soma/internal/hw"
-	"soma/internal/models"
+	"soma/internal/engine"
 	"soma/internal/sim"
 	"soma/internal/soma"
 )
@@ -23,32 +22,30 @@ func main() {
 	batch := flag.Int("batch", 1, "batch size")
 	flag.Parse()
 
-	g := models.ResNet50(*batch)
-	cfg := hw.Edge()
-	par := soma.DefaultParams()
-
-	base, err := cocco.New(g, cfg, soma.EDP(), par).Run()
+	// One request, two backends: engine.Compare runs the baseline and SoMa
+	// on the identical problem (the somad API and the soma CLI route every
+	// search through the same engine.Run).
+	req := engine.Request{Model: "resnet50", Batch: *batch, Platform: "edge",
+		Params: soma.DefaultParams()}
+	results, err := engine.Compare(context.Background(), req, "cocco", "soma")
 	if err != nil {
 		log.Fatal(err)
 	}
-	ours, err := soma.New(g, cfg, soma.EDP(), par).Run()
+	base, ours := results[0], results[1]
+
+	describe("Cocco (baseline)", base.Raw.Schedule, base.Raw.Metrics)
+	s1, err := core.Parse(ours.Raw.Graph, ours.Raw.Encoding)
 	if err != nil {
 		log.Fatal(err)
 	}
+	describe("SoMa stage 1 (LFA: fusion + tiling + order)", s1, ours.Raw.Stage1Metrics)
+	describe("SoMa stage 2 (+DLSA: prefetch & delayed store)", ours.Raw.Schedule, ours.Raw.Metrics)
 
-	describe("Cocco (baseline)", base.Schedule, base.Metrics)
-	s1, err := core.Parse(g, ours.Encoding)
-	if err != nil {
-		log.Fatal(err)
-	}
-	describe("SoMa stage 1 (LFA: fusion + tiling + order)", s1, ours.Stage1.Metrics)
-	describe("SoMa stage 2 (+DLSA: prefetch & delayed store)", ours.Schedule, ours.Stage2.Metrics)
-
-	m2, mc := ours.Stage2.Metrics, base.Metrics
+	m2, mc := ours.Raw.Metrics, base.Raw.Metrics
 	fmt.Printf("\nSoMa vs Cocco: %.2fx faster, %.1f%% less energy, %.1fx fewer tiles\n",
 		mc.LatencyNS/m2.LatencyNS,
 		100*(1-m2.EnergyPJ/mc.EnergyPJ),
-		float64(base.Schedule.NumTiles())/float64(ours.Schedule.NumTiles()))
+		float64(base.Raw.Schedule.NumTiles())/float64(ours.Raw.Schedule.NumTiles()))
 	fmt.Printf("stage 2 closes %.1f%% of the gap to the no-stall bound (util %.2f%% of %.2f%%)\n",
 		100*m2.Utilization/m2.TheoreticalMaxUtil, 100*m2.Utilization, 100*m2.TheoreticalMaxUtil)
 }

@@ -37,6 +37,11 @@ type Explorer struct {
 	Cfg hw.Config
 	Obj soma.Objective
 	Par soma.Params
+	// Progress, when non-nil, receives solver progress callbacks with
+	// Stage "cocco" (a start event, one improve event per incumbent
+	// improvement, and a done event). It observes the search only and
+	// never changes the result.
+	Progress func(soma.Progress)
 }
 
 // New builds a baseline explorer; Params.Beta1 scales its iteration budget
@@ -73,6 +78,12 @@ func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 	}
 
 	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: e.Par.Seed}
+	if e.Progress != nil {
+		e.Progress(soma.Progress{Stage: "cocco", Kind: "start", Budget: e.Cfg.GBufBytes})
+		cfg.OnImprove = func(iter int, cost float64) {
+			e.Progress(soma.Progress{Stage: "cocco", Kind: "improve", Iter: iter, Cost: cost})
+		}
+	}
 	best, bestCost, stats := sa.RunCtx(ctx, cfg, init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
 		return e.mutate(enc, rng)
 	})
@@ -89,6 +100,9 @@ func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 	m, err := sim.Evaluate(s, e.CS, sim.Options{})
 	if err != nil {
 		return nil, err
+	}
+	if e.Progress != nil {
+		e.Progress(soma.Progress{Stage: "cocco", Kind: "done", Cost: m.Cost(e.Obj.N, e.Obj.M)})
 	}
 	return &Result{Encoding: best, Schedule: s, Metrics: m,
 		Cost: m.Cost(e.Obj.N, e.Obj.M), Stats: stats}, nil

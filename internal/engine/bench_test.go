@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"soma/internal/hw"
+	"soma/internal/report"
+	"soma/internal/soma"
+)
+
+// noopBackend returns a fixed payload without searching, isolating the
+// engine's dispatch cost (normalization, registry lookup, hook wrapping)
+// from solver time.
+type noopBackend struct{}
+
+func (noopBackend) Name() string     { return "bench-noop" }
+func (noopBackend) Describe() string { return "benchmark stub: returns a fixed payload" }
+
+func (noopBackend) Solve(_ context.Context, req Request, h *Hooks) (*report.Result, error) {
+	h.Emit(Event{Kind: "stage", Backend: "bench-noop", Stage: "noop"})
+	return &report.Result{Framework: "bench-noop", Cost: 1}, nil
+}
+
+var registerNoop sync.Once
+
+// BenchmarkEngineOverhead/dispatch measures the pure engine overhead per
+// Run call against a no-op backend (nanoseconds - the guard that the
+// Request/Backend indirection costs nothing next to a real search, which
+// the solve benchmarks below put at many milliseconds).
+func BenchmarkEngineOverhead(b *testing.B) {
+	registerNoop.Do(func() { Register(noopBackend{}) })
+	ctx := context.Background()
+
+	b.Run("dispatch", func(b *testing.B) {
+		req := Request{Backend: "bench-noop", Model: "mobilenetv2", Platform: "edge",
+			Params: soma.FastParams()}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(ctx, req, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The same minimal search through the engine and directly through the
+	// explorer: the two must track each other (engine adds only the
+	// dispatch measured above).
+	par := soma.FastParams()
+	par.Beta1, par.Beta2 = 1, 1
+	b.Run("engine-solve", func(b *testing.B) {
+		req := Request{Model: "mobilenetv2", Platform: "edge",
+			Objective: soma.EDP(), Params: par}
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(ctx, req, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct-solve", func(b *testing.B) {
+		cfg, err := hw.Platform("edge")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := Run(ctx, Request{Model: "mobilenetv2", Platform: "edge",
+			Objective: soma.EDP(), Params: par}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := res.Raw.Graph
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := soma.New(g, cfg, soma.EDP(), par).Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

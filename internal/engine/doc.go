@@ -1,0 +1,15 @@
+// Package engine is the single entrypoint for constructing and running
+// scheduling searches: one Request describes what to solve (a model or a
+// multi-model scenario, on which platform, under which objective and search
+// parameters), one Backend interface abstracts who solves it (the SoMa
+// two-stage SA portfolio, the Cocco baseline, or any future solver dropped
+// into the registry), and one Hooks stream reports live progress (stage
+// transitions, per-chain best-cost updates, evaluation-cache snapshots).
+//
+// Every surface of the repo - the soma CLI, the somad daemon, the exp
+// figure adapters, the examples - runs searches exclusively through
+// engine.Run, so cancellation, cache scoping, determinism and payload
+// assembly are centralized here instead of re-plumbed per caller. A fixed
+// seed yields byte-identical report payloads over every path, with or
+// without hooks installed.
+package engine

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"soma/internal/report"
+	"soma/internal/sim"
+	"soma/internal/workload"
+)
+
+// ScenarioModelName is the Workload.Model label a composed payload reports.
+func ScenarioModelName(name string) string { return "scenario:" + name }
+
+// solveScenario schedules the composed scenario graph and each component
+// model in isolation, returning the composed aggregate report.Result with
+// the per-model results attached in its Scenario section. The flow is shared
+// between `soma -scenario` and the somad jobs API (both route here through
+// Run), so a fixed-seed scenario run is byte-identical over both paths.
+// Events are tagged Component "composed" for the whole-scenario search, then
+// each component's name for its isolated run.
+func solveScenario(ctx context.Context, req Request, h *Hooks) (*report.Result, error) {
+	req = req.normalized()
+	cfg, err := req.hwConfig()
+	if err != nil {
+		return nil, err
+	}
+	sc := *req.Scenario
+	sc.Components = append([]workload.Component(nil), sc.Components...)
+	sc.Normalize()
+	g, pl, err := sc.Compose()
+	if err != nil {
+		return nil, err
+	}
+	digest, err := sc.SpecSHA256()
+	if err != nil {
+		return nil, err
+	}
+	cache := req.Cache
+	if cache == nil {
+		cache = sim.NewCache(0)
+	}
+
+	// Composed run: the whole scenario as one point of the scheduling
+	// space. The scope keys composed evaluations by spec digest, so equal
+	// scenarios share cache entries and different ones never collide.
+	spec := report.Spec{Model: ScenarioModelName(sc.Name), Batch: sc.TotalBatch(),
+		HW: req.Platform, Framework: "soma", Seed: req.Params.Seed,
+		Obj: report.Objective{N: req.Objective.N, M: req.Objective.M}}
+	payload, err := solveSoma(ctx, solveInputs{
+		g: g, cfg: cfg, spec: spec, obj: req.Objective, par: req.Params,
+		cache: cache, scope: fmt.Sprintf("scn:%s|%s|composed|", digest, req.Platform),
+		hooks: h, component: "composed",
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Isolated per-component runs, in composition order. The scope matches
+	// the single-model convention, so a scenario job and a plain job for
+	// the same (model, batch, hw) share evaluations.
+	info := &report.ScenarioInfo{Name: sc.Name, Arrival: string(sc.Arrival)}
+	var wLogCost float64
+	for _, span := range pl.Spans {
+		c := span.Component
+		ispec := report.Spec{Model: c.Model, Batch: c.Batch, HW: req.Platform,
+			Framework: "soma", Seed: req.Params.Seed, Obj: spec.Obj}
+		ires, err := solveSoma(ctx, solveInputs{
+			g: span.Graph, cfg: cfg, spec: ispec, obj: req.Objective, par: req.Params,
+			cache: cache, scope: cacheScope(c.Model, c.Batch, req.Platform),
+			hooks: h, component: c.Name,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: scenario %s: isolated %s: %w", sc.Name, c.Name, err)
+		}
+		info.Components = append(info.Components, report.ScenarioComponent{
+			Name: c.Name, Model: c.Model, Batch: c.Batch, Weight: c.Weight,
+			Layers: span.Layers, Ops: span.Ops, WeightBytes: span.WeightBytes,
+			Isolated: ires,
+		})
+		info.IsolatedSumLatencyNS += ires.Metrics.LatencyNS
+		info.IsolatedSumEnergyPJ += ires.Metrics.EnergyPJ
+		wLogCost += c.Weight * math.Log(ires.Cost)
+	}
+	if payload.Metrics.LatencyNS > 0 {
+		info.ComposedSpeedup = info.IsolatedSumLatencyNS / payload.Metrics.LatencyNS
+	}
+	info.WeightedIsolatedCost = math.Exp(wLogCost / sc.TotalWeight())
+	payload.Scenario = info
+	return payload, nil
+}

@@ -6,47 +6,36 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
 
-	"soma/internal/cocco"
 	"soma/internal/core"
 	"soma/internal/coresched"
+	"soma/internal/engine"
 	"soma/internal/graph"
 	"soma/internal/hw"
-	"soma/internal/models"
+	"soma/internal/report"
 	"soma/internal/sim"
 	"soma/internal/soma"
 )
 
-// platforms is the single registry behind Platform and Platforms, so the
-// CLI flag parser and the somad /v1/hw enumeration cannot drift apart.
-var platforms = map[string]func() hw.Config{
-	"edge":  hw.Edge,
-	"cloud": hw.Cloud,
-}
-
 // Platforms lists the named hardware presets Platform accepts, in sorted
-// order (the somad /v1/hw registry endpoint enumerates these).
-func Platforms() []string {
-	names := make([]string, 0, len(platforms))
-	for name := range platforms {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+// order. The registry itself lives in the hw package (shared with the
+// engine and the somad /v1/hw enumeration); these wrappers keep the exp API
+// stable.
+func Platforms() []string { return hw.Platforms() }
 
 // Platform returns the named hardware preset.
 func Platform(name string) (hw.Config, error) {
-	build, ok := platforms[name]
-	if !ok {
+	cfg, err := hw.Platform(name)
+	if err != nil {
 		return hw.Config{}, fmt.Errorf("exp: unknown platform %q (%v)", name, Platforms())
 	}
-	return build(), nil
+	return cfg, nil
 }
 
 // Workloads returns the paper's Fig. 6 workload list for a platform (GPT-2
@@ -123,41 +112,40 @@ type PairResult struct {
 	Err   error
 }
 
-// RunPair runs the baseline and both SoMa stages on one case.
+// searchCache reconstructs the evaluation-cache counter snapshot a payload
+// reports.
+func searchCache(s *report.Search) sim.CacheStats {
+	if s == nil {
+		return sim.CacheStats{}
+	}
+	return sim.CacheStats{Hits: s.CacheHits, Misses: s.CacheMisses,
+		Entries: s.CacheEntries, Flushes: s.CacheGenerations}
+}
+
+// RunPair runs the baseline and both SoMa stages on one case: one
+// engine.Request compared across the cocco and soma backends (one Fig. 6
+// bar group).
 func RunPair(c Case, par soma.Params) PairResult {
 	out := PairResult{Case: c}
-	cfg, err := Platform(c.Platform)
+	req := engine.Request{Model: c.Workload, Batch: c.Batch, Platform: c.Platform,
+		Objective: soma.EDP(), Params: par}
+	results, err := engine.Compare(context.Background(), req, "cocco", "soma")
 	if err != nil {
-		out.Err = err
+		out.Err = fmt.Errorf("%s: %w", c, err)
 		return out
 	}
-	g, err := models.Build(c.Workload, c.Batch)
-	if err != nil {
-		out.Err = err
-		return out
-	}
-	base, err := cocco.New(g, cfg, soma.EDP(), par).Run()
-	if err != nil {
-		out.Err = fmt.Errorf("cocco %s: %w", c, err)
-		return out
-	}
-	out.Cocco = rowFromMetrics("cocco", base.Metrics, base.Schedule)
-
-	ours, err := soma.New(g, cfg, soma.EDP(), par).Run()
-	if err != nil {
-		out.Err = fmt.Errorf("soma %s: %w", c, err)
-		return out
-	}
-	out.Cache = ours.Cache
+	base, ours := results[0], results[1]
+	out.Cocco = rowFromMetrics("cocco", base.Raw.Metrics, base.Raw.Schedule)
+	out.Cache = searchCache(ours.Search)
 	// Stage 1 metrics come from re-parsing the winning encoding with the
 	// heuristic double-buffer DLSA (what "Ours_1" shows in Fig. 6).
-	s1sched, err := core.Parse(g, ours.Encoding)
+	s1sched, err := core.Parse(ours.Raw.Graph, ours.Raw.Encoding)
 	if err != nil {
 		out.Err = err
 		return out
 	}
-	out.Ours1 = rowFromMetrics("ours1", ours.Stage1.Metrics, s1sched)
-	out.Ours2 = rowFromMetrics("ours2", ours.Stage2.Metrics, ours.Schedule)
+	out.Ours1 = rowFromMetrics("ours1", ours.Raw.Stage1Metrics, s1sched)
+	out.Ours2 = rowFromMetrics("ours2", ours.Raw.Metrics, ours.Raw.Schedule)
 	return out
 }
 
@@ -287,11 +275,12 @@ func Fig3Layers(g *graph.Graph) []ScatterPoint {
 // baseline schedule: each computing tile's DRAM demand (the tensors it
 // gates) against its operation count.
 func Fig3Tiles(g *graph.Graph, cfg hw.Config, par soma.Params) ([]ScatterPoint, error) {
-	base, err := cocco.New(g, cfg, soma.EDP(), par).Run()
+	base, err := engine.Run(context.Background(), engine.Request{Backend: "cocco",
+		Graph: g, Batch: 1, Config: &cfg, Objective: soma.EDP(), Params: par}, nil)
 	if err != nil {
 		return nil, err
 	}
-	s := base.Schedule
+	s := base.Raw.Schedule
 	dramOf := make([]float64, s.NumTiles())
 	for i := range s.Tensors {
 		t := &s.Tensors[i]
@@ -389,21 +378,20 @@ func Fig7(workload string, batch int, par soma.Params, workers int) []DSEPoint {
 			defer func() { <-sem }()
 			cfg := hw.Edge().WithDRAM(Fig7Bandwidths[cl.bw]).WithGBuf(Fig7Buffers[cl.buf])
 			pt := DSEPoint{DRAMGBs: Fig7Bandwidths[cl.bw], BufferMB: Fig7Buffers[cl.buf] >> 20}
-			g, err := models.Build(workload, batch)
-			if err != nil {
-				pt.CoccoErr, pt.SoMaErr = err.Error(), err.Error()
-				out[idx] = pt
-				return
-			}
-			if base, err := cocco.New(g, cfg, soma.EDP(), par).Run(); err != nil {
+			req := engine.Request{Model: workload, Batch: batch, Platform: "edge",
+				Config: &cfg, Objective: soma.EDP(), Params: par}
+			ctx := context.Background()
+			coccoReq := req
+			coccoReq.Backend = "cocco"
+			if base, err := engine.Run(ctx, coccoReq, nil); err != nil {
 				pt.CoccoErr = err.Error()
 			} else {
 				pt.CoccoMS = base.Metrics.LatencyNS / 1e6
 			}
-			if ours, err := soma.New(g, cfg, soma.EDP(), par).Run(); err != nil {
+			if ours, err := engine.Run(ctx, req, nil); err != nil {
 				pt.SoMaErr = err.Error()
 			} else {
-				pt.SoMaMS = ours.Stage2.Metrics.LatencyNS / 1e6
+				pt.SoMaMS = ours.Metrics.LatencyNS / 1e6
 			}
 			out[idx] = pt
 		}(idx, cl)
@@ -425,31 +413,26 @@ func Fig8(c Case, par soma.Params) (*TracePair, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := models.Build(c.Workload, c.Batch)
-	if err != nil {
-		return nil, err
-	}
 	cs := coresched.New(cfg)
-	base, err := cocco.New(g, cfg, soma.EDP(), par).Run()
+	req := engine.Request{Model: c.Workload, Batch: c.Batch, Platform: c.Platform,
+		Objective: soma.EDP(), Params: par}
+	results, err := engine.Compare(context.Background(), req, "cocco", "soma")
 	if err != nil {
 		return nil, err
 	}
-	ours, err := soma.New(g, cfg, soma.EDP(), par).Run()
+	base, ours := results[0], results[1]
+	s1, err := core.Parse(ours.Raw.Graph, ours.Raw.Encoding)
 	if err != nil {
 		return nil, err
 	}
-	s1, err := core.Parse(g, ours.Encoding)
-	if err != nil {
-		return nil, err
-	}
-	tp := &TracePair{Cocco: base.Schedule, Ours1: s1, Ours2: ours.Schedule}
-	if tp.MCocco, err = sim.Evaluate(base.Schedule, cs, sim.Options{Trace: true}); err != nil {
+	tp := &TracePair{Cocco: base.Raw.Schedule, Ours1: s1, Ours2: ours.Raw.Schedule}
+	if tp.MCocco, err = sim.Evaluate(base.Raw.Schedule, cs, sim.Options{Trace: true}); err != nil {
 		return nil, err
 	}
 	if tp.M1, err = sim.Evaluate(s1, cs, sim.Options{Trace: true}); err != nil {
 		return nil, err
 	}
-	if tp.M2, err = sim.Evaluate(ours.Schedule, cs, sim.Options{Trace: true}); err != nil {
+	if tp.M2, err = sim.Evaluate(ours.Raw.Schedule, cs, sim.Options{Trace: true}); err != nil {
 		return nil, err
 	}
 	return tp, nil

@@ -2,8 +2,8 @@ package exp
 
 import (
 	"context"
-	"fmt"
 
+	"soma/internal/engine"
 	"soma/internal/report"
 	"soma/internal/sim"
 	"soma/internal/soma"
@@ -24,83 +24,26 @@ type ScenarioRun struct {
 }
 
 // ScenarioModelName is the Workload.Model the composed payload reports.
-func ScenarioModelName(name string) string { return "scenario:" + name }
+func ScenarioModelName(name string) string { return engine.ScenarioModelName(name) }
 
 // RunScenario schedules the composed scenario graph and each component model
 // in isolation, returning the composed aggregate report.Result with the
-// per-model results attached in its Scenario section. The flow is shared
-// between `soma -scenario` and the somad jobs API, so a fixed-seed scenario
-// run is byte-identical over both paths (like single-model runs).
+// per-model results attached in its Scenario section. It is a thin adapter
+// over the engine's scenario orchestration, which `soma -scenario` and the
+// somad jobs API also route through, so a fixed-seed scenario run is
+// byte-identical over every path.
 func RunScenario(run ScenarioRun) (*report.Result, error) {
 	return RunScenarioCtx(context.Background(), run)
 }
 
 // RunScenarioCtx is RunScenario with cooperative cancellation.
 func RunScenarioCtx(ctx context.Context, run ScenarioRun) (*report.Result, error) {
-	cfg, err := Platform(run.Platform)
-	if err != nil {
-		return nil, err
-	}
 	sc := run.Scenario
-	sc.Components = append([]workload.Component(nil), sc.Components...)
-	sc.Normalize()
-	g, pl, err := sc.Compose()
-	if err != nil {
-		return nil, err
-	}
-	digest, err := sc.SpecSHA256()
-	if err != nil {
-		return nil, err
-	}
-	cache := run.Cache
-	if cache == nil {
-		cache = sim.NewCache(0)
-	}
-
-	// Composed run: the whole scenario as one point of the scheduling
-	// space. The scope keys composed evaluations by spec digest, so equal
-	// scenarios share cache entries and different ones never collide.
-	ex := soma.New(g, cfg, run.Obj, run.Par)
-	ex.Cache = cache
-	ex.Scope = fmt.Sprintf("scn:%s|%s|composed|", digest, run.Platform)
-	res, err := ex.RunContext(ctx)
-	if err != nil {
-		return nil, err
-	}
-	spec := report.Spec{Model: ScenarioModelName(sc.Name), Batch: sc.TotalBatch(),
-		HW: run.Platform, Framework: "soma", Seed: run.Par.Seed,
-		Obj: report.Objective{N: run.Obj.N, M: run.Obj.M}}
-	payload := report.FromSoma(spec, cfg, res)
-
-	// Isolated per-component runs, in composition order. The scope matches
-	// the somad single-model convention, so a scenario job and a plain job
-	// for the same (model, batch, hw) share evaluations.
-	info := &report.ScenarioInfo{Name: sc.Name, Arrival: string(sc.Arrival)}
-	var wLogCost float64
-	for _, span := range pl.Spans {
-		c := span.Component
-		iso := soma.New(span.Graph, cfg, run.Obj, run.Par)
-		iso.Cache = cache
-		iso.Scope = fmt.Sprintf("%s|%d|%s|", c.Model, c.Batch, run.Platform)
-		ires, err := iso.RunContext(ctx)
-		if err != nil {
-			return nil, fmt.Errorf("exp: scenario %s: isolated %s: %w", sc.Name, c.Name, err)
-		}
-		ispec := report.Spec{Model: c.Model, Batch: c.Batch, HW: run.Platform,
-			Framework: "soma", Seed: run.Par.Seed, Obj: spec.Obj}
-		info.Components = append(info.Components, report.ScenarioComponent{
-			Name: c.Name, Model: c.Model, Batch: c.Batch, Weight: c.Weight,
-			Layers: span.Layers, Ops: span.Ops, WeightBytes: span.WeightBytes,
-			Isolated: report.FromSoma(ispec, cfg, ires),
-		})
-		info.IsolatedSumLatencyNS += ires.Stage2.Metrics.LatencyNS
-		info.IsolatedSumEnergyPJ += ires.Stage2.Metrics.EnergyPJ
-		wLogCost += c.Weight * ln(ires.Cost)
-	}
-	if payload.Metrics.LatencyNS > 0 {
-		info.ComposedSpeedup = info.IsolatedSumLatencyNS / payload.Metrics.LatencyNS
-	}
-	info.WeightedIsolatedCost = exp(wLogCost / sc.TotalWeight())
-	payload.Scenario = info
-	return payload, nil
+	return engine.Run(ctx, engine.Request{
+		Scenario:  &sc,
+		Platform:  run.Platform,
+		Objective: run.Obj,
+		Params:    run.Par,
+		Cache:     run.Cache,
+	}, nil)
 }

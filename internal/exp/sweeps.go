@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"soma/internal/engine"
 	"soma/internal/models"
 	"soma/internal/soma"
 )
@@ -37,13 +39,15 @@ func ObjectiveSweep(c Case, par soma.Params, objectives []soma.Objective) []Obje
 		return out
 	}
 	res := ParallelMap(objectives, 0, func(obj soma.Objective) PairResult {
-		r, err := soma.New(g, cfg, obj, par).Run()
+		r, err := engine.Run(context.Background(), engine.Request{Graph: g,
+			Model: c.Workload, Batch: c.Batch, Platform: c.Platform, Config: &cfg,
+			Objective: obj, Params: par}, nil)
 		if err != nil {
 			return PairResult{Err: err}
 		}
 		return PairResult{Ours2: Row{
-			LatencyNS: r.Stage2.Metrics.LatencyNS,
-			EnergyPJ:  r.Stage2.Metrics.EnergyPJ,
+			LatencyNS: r.Metrics.LatencyNS,
+			EnergyPJ:  r.Metrics.EnergyPJ,
 		}}
 	})
 	for i, r := range res {
@@ -103,11 +107,13 @@ func SeedSweep(c Case, par soma.Params, seeds []int64) (SeedStats, error) {
 	res := ParallelMap(seeds, 0, func(seed int64) PairResult {
 		p := par
 		p.Seed = seed
-		r, err := soma.New(g, cfg, soma.EDP(), p).Run()
+		r, err := engine.Run(context.Background(), engine.Request{Graph: g,
+			Model: c.Workload, Batch: c.Batch, Platform: c.Platform, Config: &cfg,
+			Objective: soma.EDP(), Params: p}, nil)
 		if err != nil {
 			return PairResult{Err: err}
 		}
-		return PairResult{Ours2: Row{LatencyNS: r.Stage2.Metrics.LatencyNS}}
+		return PairResult{Ours2: Row{LatencyNS: r.Metrics.LatencyNS}}
 	})
 	var ms []float64
 	for _, r := range res {

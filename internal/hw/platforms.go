@@ -1,0 +1,35 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// platforms is the single named-preset registry behind Platform and
+// Platforms. It lives here, at the bottom of the dependency graph, so the
+// engine, the exp figure adapters, the CLIs and the somad /v1/hw endpoint
+// all resolve names through one table and cannot drift apart.
+var platforms = map[string]func() Config{
+	"edge":  Edge,
+	"cloud": Cloud,
+}
+
+// Platforms lists the named hardware presets Platform accepts, in sorted
+// order (the somad /v1/hw registry endpoint enumerates these).
+func Platforms() []string {
+	names := make([]string, 0, len(platforms))
+	for name := range platforms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Platform returns the named hardware preset.
+func Platform(name string) (Config, error) {
+	build, ok := platforms[name]
+	if !ok {
+		return Config{}, fmt.Errorf("hw: unknown platform %q (%v)", name, Platforms())
+	}
+	return build(), nil
+}

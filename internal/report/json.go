@@ -8,6 +8,7 @@ import (
 
 	"soma/internal/cocco"
 	"soma/internal/core"
+	"soma/internal/graph"
 	"soma/internal/hw"
 	"soma/internal/sim"
 	"soma/internal/soma"
@@ -42,6 +43,23 @@ type Result struct {
 	// single-model runs): per-component ownership, isolated per-model
 	// results, and the composed-vs-isolated aggregate comparison.
 	Scenario *ScenarioInfo `json:"scenario,omitempty"`
+
+	// Raw carries the in-memory artifacts behind the payload for callers
+	// that need more than JSON - trace rendering, ISA lowering, the exp
+	// figure adapters. Never serialized, so its presence cannot perturb
+	// byte-identity of the wire payload.
+	Raw *Raw `json:"-"`
+}
+
+// Raw is the non-serialized artifact section of a Result.
+type Raw struct {
+	Graph    *graph.Graph
+	Encoding *core.Encoding
+	Schedule *core.Schedule
+	Metrics  *sim.Metrics
+	// Stage1Metrics is the double-buffer DLSA result of the winning LFA
+	// (soma runs only; nil for cocco).
+	Stage1Metrics *sim.Metrics
 }
 
 // ScenarioInfo is the scenario section of a composed run's payload.
@@ -215,6 +233,8 @@ func FromSoma(spec Spec, cfg hw.Config, res *soma.Result) *Result {
 		CacheEntries:     res.Cache.Entries,
 		CacheGenerations: res.Cache.Flushes,
 	}
+	r.Raw = &Raw{Encoding: res.Encoding, Schedule: res.Schedule,
+		Metrics: res.Stage2.Metrics, Stage1Metrics: res.Stage1.Metrics}
 	return &r
 }
 
@@ -223,6 +243,7 @@ func FromCocco(spec Spec, cfg hw.Config, res *cocco.Result) *Result {
 	r := jsonHeader(spec, cfg, res.Encoding, res.Schedule)
 	r.Cost = res.Cost
 	r.Metrics = jsonMetrics(res.Metrics)
+	r.Raw = &Raw{Encoding: res.Encoding, Schedule: res.Schedule, Metrics: res.Metrics}
 	return &r
 }
 

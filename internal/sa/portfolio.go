@@ -18,6 +18,11 @@ type PortfolioConfig struct {
 	Chains int
 	// Workers bounds the goroutines running chains concurrently.
 	Workers int
+	// OnImprove, when non-nil, receives every chain's incumbent
+	// improvements tagged with the chain index. Chains run concurrently, so
+	// calls may arrive interleaved from multiple goroutines; the callback
+	// must be safe for concurrent use and must not influence the search.
+	OnImprove func(chain, iter int, cost float64)
 }
 
 func (p PortfolioConfig) normalized() PortfolioConfig {
@@ -76,6 +81,9 @@ func RunPortfolioCtx[S any](ctx context.Context, cfg Config, pf PortfolioConfig,
 
 	pf = pf.normalized()
 	if pf.Chains == 1 {
+		if pf.OnImprove != nil {
+			cfg.OnImprove = func(iter int, c float64) { pf.OnImprove(0, iter, c) }
+		}
 		best, bestCost, st := RunCtx(ctx, cfg, init, cost, neighbor)
 		return best, bestCost, PortfolioStats{
 			Total: st, Chains: 1, Workers: 1, PerChain: []Stats{st}}
@@ -97,6 +105,9 @@ func RunPortfolioCtx[S any](ctx context.Context, cfg Config, pf PortfolioConfig,
 			defer func() { <-sem }()
 			chainCfg := cfg
 			chainCfg.Seed = cfg.Seed + int64(c)
+			if pf.OnImprove != nil {
+				chainCfg.OnImprove = func(iter int, bc float64) { pf.OnImprove(c, iter, bc) }
+			}
 			best, bc, st := RunCtx(ctx, chainCfg, init, cost, neighbor)
 			results[c] = outcome{best: best, cost: bc, st: st}
 		}(c)

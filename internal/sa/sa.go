@@ -19,6 +19,11 @@ type Config struct {
 	// run performs PostIters improve-only iterations and stops.
 	Deadline  time.Duration
 	PostIters int
+	// OnImprove, when non-nil, is invoked after every improvement of the
+	// incumbent with the iteration index and the new best cost. It observes
+	// the search only: it must not mutate shared state, and it runs on the
+	// annealing goroutine, so it should be fast.
+	OnImprove func(iter int, cost float64)
 }
 
 // DefaultConfig returns the temperatures used across the experiments.
@@ -123,6 +128,9 @@ func RunCtx[S any](ctx context.Context, cfg Config, init S, cost func(S) float64
 			best, bestCost = cur, curCost
 			st.Improved++
 			st.BestIter = n
+			if cfg.OnImprove != nil {
+				cfg.OnImprove(n, bestCost)
+			}
 		}
 	}
 	return best, bestCost, st

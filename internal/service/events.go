@@ -1,0 +1,60 @@
+package service
+
+import (
+	"sync"
+
+	"soma/internal/engine"
+)
+
+// eventLog is one job's append-only progress-event buffer. Workers append
+// engine events while the job runs; any number of SSE handlers read
+// concurrently, each at its own offset, blocking on the notify channel when
+// caught up. close marks the stream complete (job reached a terminal
+// state), which wakes every waiter for the final drain.
+type eventLog struct {
+	mu     sync.Mutex
+	events []engine.Event
+	closed bool
+	// notify is closed and replaced on every append, broadcasting "new
+	// events or closure" to blocked readers.
+	notify chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{notify: make(chan struct{})}
+}
+
+// append records one event; appends after close are dropped (a late
+// callback from a canceled solver has no readers left to serve).
+func (l *eventLog) append(e engine.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.events = append(l.events, e)
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// close completes the stream; idempotent.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.notify)
+}
+
+// since returns the events at offset from onward, whether the stream is
+// complete, and a channel that is closed when either changes.
+func (l *eventLog) since(from int) (evs []engine.Event, closed bool, wait <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < len(l.events) {
+		evs = l.events[from:]
+	}
+	return evs, l.closed, l.notify
+}

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"soma/internal/engine"
+)
+
+// sseFrame is one parsed Server-Sent-Events frame.
+type sseFrame struct {
+	event string
+	data  string
+}
+
+// readSSE consumes the stream until it ends (server closes) or limit frames
+// arrived, whichever comes first.
+func readSSE(t *testing.T, resp *http.Response, limit int) []sseFrame {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q, want text/event-stream", ct)
+	}
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				frames = append(frames, cur)
+				cur = sseFrame{}
+			}
+			if limit > 0 && len(frames) >= limit {
+				return frames
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return frames
+}
+
+// openStream connects to a job's SSE endpoint.
+func openStream(t *testing.T, ts *httptest.Server, id string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	return resp
+}
+
+// TestEventsStreamToCompletion: the SSE stream serves events while the job
+// runs and terminates with an end frame once it completes.
+func TestEventsStreamToCompletion(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	v := submit(t, ts, smallJob(21))
+	// Connect immediately - typically while the job still runs; the log
+	// replays anything missed, so the full stream arrives either way.
+	frames := readSSE(t, openStream(t, ts, v.ID), 0)
+	if len(frames) < 3 {
+		t.Fatalf("only %d frames streamed", len(frames))
+	}
+	if frames[0].event != "start" {
+		t.Errorf("first frame = %q, want start", frames[0].event)
+	}
+	last := frames[len(frames)-1]
+	if last.event != "end" || !strings.Contains(last.data, `"done"`) {
+		t.Errorf("last frame = %+v, want end with state done", last)
+	}
+	if prev := frames[len(frames)-2]; prev.event != "done" {
+		t.Errorf("frame before end = %q, want the engine's done event", prev.event)
+	}
+	// Every data payload must round-trip as an engine.Event with
+	// consecutive Seq (the end frame carries the job state instead).
+	for i, f := range frames[:len(frames)-1] {
+		var e engine.Event
+		if err := json.Unmarshal([]byte(f.data), &e); err != nil {
+			t.Fatalf("frame %d: bad event JSON %q: %v", i, f.data, err)
+		}
+		if e.Seq != i {
+			t.Fatalf("frame %d has seq %d", i, e.Seq)
+		}
+	}
+
+	// A terminal job's stream replays in full and ends immediately.
+	replay := readSSE(t, openStream(t, ts, v.ID), 0)
+	if len(replay) != len(frames) {
+		t.Errorf("replay streamed %d frames, first read %d", len(replay), len(frames))
+	}
+}
+
+// TestEventsStreamEndsOnDelete: deleting a running job terminates its open
+// event streams with an end frame reporting the canceled state.
+func TestEventsStreamEndsOnDelete(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	v := submit(t, ts, bigJob())
+	pollUntil(t, ts, v.ID, time.Minute, func(v View) bool { return v.State == StateRunning })
+	resp := openStream(t, ts, v.ID)
+
+	// The stream is live: at least the engine's start event arrives while
+	// the job is still running.
+	first := readSSE(t, resp, 1)
+	if len(first) != 1 || first[0].event != "start" {
+		t.Fatalf("live stream opened with %+v, want the start event", first)
+	}
+
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel: status %d", code)
+	}
+	stream2 := openStream(t, ts, v.ID)
+	done := make(chan []sseFrame, 1)
+	go func() { done <- readSSE(t, stream2, 0) }()
+	select {
+	case frames := <-done:
+		if len(frames) == 0 {
+			t.Fatal("no frames after delete")
+		}
+		last := frames[len(frames)-1]
+		if last.event != "end" || !strings.Contains(last.data, `"canceled"`) {
+			t.Errorf("last frame = %+v, want end with state canceled", last)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("stream did not terminate after DELETE")
+	}
+}
+
+func TestEventsUnknownJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestBackendsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var body struct {
+		Backends []engine.BackendInfo `json:"backends"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/backends", nil, &body); code != http.StatusOK {
+		t.Fatalf("backends: status %d", code)
+	}
+	names := make([]string, len(body.Backends))
+	for i, b := range body.Backends {
+		names[i] = b.Name
+	}
+	for _, want := range []string{"cocco", "soma"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Errorf("backend %q missing from %v", want, names)
+		}
+	}
+}

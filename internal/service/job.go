@@ -6,7 +6,8 @@ import (
 	"fmt"
 	"time"
 
-	"soma/internal/exp"
+	"soma/internal/engine"
+	"soma/internal/hw"
 	"soma/internal/models"
 	"soma/internal/report"
 	"soma/internal/soma"
@@ -65,19 +66,17 @@ type ParamsRequest struct {
 	Beta2   int    `json:"beta2,omitempty"`
 }
 
-// runInputs are the resolved execution inputs of one job: the payload spec,
-// the search parameters, and - for multi-model jobs - the scenario.
+// runInputs are the resolved execution inputs of one job: the fully
+// normalized engine request (the server adds its shared cache and a hooks
+// stream when a worker picks the job up).
 type runInputs struct {
-	spec report.Spec
-	par  soma.Params
-	// scenario is nil for single-model jobs.
-	scenario *workload.Scenario
+	req engine.Request
 }
 
 // normalize fills defaults and validates the request against the model,
-// hardware and scenario registries, returning the resolved run inputs. It is
-// called at submit time so bad requests fail with 400 instead of a failed
-// job.
+// hardware and scenario registries, returning the resolved engine request.
+// It is called at submit time so bad requests fail with 400 instead of a
+// failed job.
 func (r *Request) normalize() (in runInputs, err error) {
 	scenario := r.Scenario != "" || len(r.ScenarioSpec) > 0
 	switch {
@@ -99,19 +98,19 @@ func (r *Request) normalize() (in runInputs, err error) {
 	if r.HW == "" {
 		r.HW = "edge"
 	}
-	if _, err := exp.Platform(r.HW); err != nil {
+	if _, err := hw.Platform(r.HW); err != nil {
 		return in, fmt.Errorf("unknown hw %q (GET /v1/hw lists them)", r.HW)
 	}
-	switch r.Framework {
-	case "":
+	if r.Framework == "" {
 		r.Framework = "soma"
-	case "soma":
-	case "cocco":
-		if scenario {
-			return in, fmt.Errorf("scenario jobs run the soma framework only")
-		}
-	default:
-		return in, fmt.Errorf("unknown framework %q (soma|cocco)", r.Framework)
+	}
+	// Any registered engine backend is a valid framework, so solvers added
+	// via engine.Register are accepted here with no service change.
+	if _, err := engine.Get(r.Framework); err != nil {
+		return in, fmt.Errorf("unknown framework %q (GET /v1/backends lists them)", r.Framework)
+	}
+	if scenario && r.Framework != "soma" {
+		return in, fmt.Errorf("scenario jobs run the soma framework only")
 	}
 	if r.Objective == nil {
 		r.Objective = &report.Objective{N: 1, M: 1}
@@ -120,21 +119,27 @@ func (r *Request) normalize() (in runInputs, err error) {
 	if p == nil {
 		p = &ParamsRequest{}
 	}
-	in.par, err = soma.ProfileParams(p.Profile)
+	par, err := soma.ProfileParams(p.Profile)
 	if err != nil {
 		return in, err
 	}
 	if p.Seed != 0 {
-		in.par.Seed = p.Seed
+		par.Seed = p.Seed
 	}
-	in.par.Chains = p.Chains
-	in.par.Workers = p.Workers
+	par.Chains = p.Chains
+	par.Workers = p.Workers
 	if p.Beta1 > 0 {
-		in.par.Beta1 = p.Beta1
+		par.Beta1 = p.Beta1
 	}
 	if p.Beta2 > 0 {
-		in.par.Beta2 = p.Beta2
-		in.par.Stage2MaxIters = 1 << 20
+		par.Beta2 = p.Beta2
+		par.Stage2MaxIters = 1 << 20
+	}
+	in.req = engine.Request{
+		Backend:   r.Framework,
+		Platform:  r.HW,
+		Objective: soma.Objective{N: r.Objective.N, M: r.Objective.M},
+		Params:    par,
 	}
 	if scenario {
 		var sc workload.Scenario
@@ -146,16 +151,11 @@ func (r *Request) normalize() (in runInputs, err error) {
 		} else if sc, err = workload.ParseSpec(r.ScenarioSpec); err != nil {
 			return in, err
 		}
-		in.scenario = &sc
-		// Only HW and Obj feed a scenario run; exp.RunScenarioCtx builds
-		// the payload header itself, so nothing else is derived here that
-		// could drift from what the payload reports.
-		in.spec = report.Spec{HW: r.HW, Framework: r.Framework,
-			Seed: in.par.Seed, Obj: *r.Objective}
+		in.req.Scenario = &sc
 		return in, nil
 	}
-	in.spec = report.Spec{Model: r.Model, Batch: r.Batch, HW: r.HW,
-		Framework: r.Framework, Seed: in.par.Seed, Obj: *r.Objective}
+	in.req.Model = r.Model
+	in.req.Batch = r.Batch
 	return in, nil
 }
 
@@ -180,6 +180,9 @@ type Job struct {
 	// done is closed on the transition into a terminal state, so waiters
 	// (POST ?wait=1, tests) can block without polling.
 	done chan struct{}
+	// events buffers the engine's progress stream for the SSE endpoint;
+	// closed together with done.
+	events *eventLog
 }
 
 // View is the JSON shape of a job served by the API.

@@ -9,13 +9,11 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"soma/internal/cocco"
+	"soma/internal/engine"
 	"soma/internal/exp"
 	"soma/internal/hw"
-	"soma/internal/models"
 	"soma/internal/report"
 	"soma/internal/sim"
-	"soma/internal/soma"
 	"soma/internal/workload"
 )
 
@@ -133,7 +131,9 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one job end to end and records its terminal state.
+// runJob executes one job end to end and records its terminal state. The
+// engine's progress stream is buffered on the job's event log, which the
+// GET /v1/jobs/{id}/events SSE endpoint serves live.
 func (s *Server) runJob(id string) {
 	ctx, cancel := context.WithCancel(s.base)
 	defer cancel()
@@ -144,9 +144,21 @@ func (s *Server) runJob(id string) {
 	if !ok {
 		return
 	}
-	res, err := s.execute(ctx, in)
+	hooks := &engine.Hooks{Event: func(e engine.Event) { s.store.appendEvent(id, e) }}
+	res, err := s.execute(ctx, in, hooks)
 	switch {
 	case err == nil:
+		// The job table serves JSON only: drop the Raw artifact sections
+		// (graphs, schedules, encodings) so retained results cost payload
+		// scalars, not whole schedule object trees.
+		res.Raw = nil
+		if res.Scenario != nil {
+			for i := range res.Scenario.Components {
+				if iso := res.Scenario.Components[i].Isolated; iso != nil {
+					iso.Raw = nil
+				}
+			}
+		}
 		s.store.finish(id, StateDone, "", func(j *Job) { j.Result = res })
 	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
 		s.store.finish(id, StateCanceled, "canceled", nil)
@@ -155,51 +167,15 @@ func (s *Server) runJob(id string) {
 	}
 }
 
-// execute resolves the run inputs and performs the search. It is the same
-// flow as cmd/soma, built on the shared report.Spec (and, for scenarios, the
-// shared exp.RunScenarioCtx) so both paths emit byte-identical payloads for a
-// fixed seed.
-func (s *Server) execute(ctx context.Context, in runInputs) (*report.Result, error) {
-	spec, par := in.spec, in.par
-	obj := soma.Objective{N: spec.Obj.N, M: spec.Obj.M}
-	if in.scenario != nil {
-		return exp.RunScenarioCtx(ctx, exp.ScenarioRun{
-			Scenario: *in.scenario,
-			Platform: spec.HW,
-			Obj:      obj,
-			Par:      par,
-			Cache:    s.cache,
-		})
-	}
-	cfg, err := exp.Platform(spec.HW)
-	if err != nil {
-		return nil, err
-	}
-	g, err := models.Build(spec.Model, spec.Batch)
-	if err != nil {
-		return nil, err
-	}
-	switch spec.Framework {
-	case "cocco":
-		res, err := cocco.New(g, cfg, obj, par).RunContext(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return report.FromCocco(spec, cfg, res), nil
-	default:
-		ex := soma.New(g, cfg, obj, par)
-		// Share evaluations across every request. Canonical keys only
-		// identify schedules within one (model, batch, hw) context, so
-		// the scope keeps heterogeneous jobs from colliding in the
-		// shared cache.
-		ex.Cache = s.cache
-		ex.Scope = fmt.Sprintf("%s|%d|%s|", spec.Model, spec.Batch, spec.HW)
-		res, err := ex.RunContext(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return report.FromSoma(spec, cfg, res), nil
-	}
+// execute performs the search through the engine - the same flow as
+// cmd/soma, so both paths emit byte-identical payloads for a fixed seed.
+// The process-wide evaluation cache is shared across every request; the
+// engine scopes its keys per (workload, batch, hw) context, so
+// heterogeneous jobs never collide.
+func (s *Server) execute(ctx context.Context, in runInputs, h *engine.Hooks) (*report.Result, error) {
+	req := in.req
+	req.Cache = s.cache
+	return engine.Run(ctx, req, h)
 }
 
 func (s *Server) routes() {
@@ -209,9 +185,11 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/hw", s.handleHW)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux = mux
 }
@@ -264,6 +242,71 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 // complete declarative spec a client can resubmit verbatim as scenario_spec.
 func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]workload.Scenario{"scenarios": workload.Builtins()})
+}
+
+// handleBackends serves the engine's solver registry: the framework values
+// POST /v1/jobs accepts.
+func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]engine.BackendInfo{"backends": engine.List()})
+}
+
+// handleEvents streams a job's engine progress events as Server-Sent Events:
+// one `event:`/`data:` frame per engine.Event (data is the event's JSON),
+// with the event's Seq as the SSE id. The stream replays buffered events
+// first, then follows the running job live, and closes with a terminal
+// `event: end` frame carrying the job's final state - on completion,
+// failure, or DELETE-driven cancellation alike.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	log, ok := s.store.Events(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	next := 0
+	for {
+		evs, closed, wait := log.since(next)
+		for _, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data)
+		}
+		next += len(evs)
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if closed {
+			// The job can be evicted between its terminal transition and
+			// this read; report the uncertainty rather than an empty state.
+			state := State("unknown")
+			if v, ok := s.store.Get(id); ok {
+				state = v.State
+			}
+			fmt.Fprintf(w, "event: end\ndata: {\"state\":%q}\n\n", state)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		case <-s.base.Done():
+			return
+		}
+	}
 }
 
 // HWInfo is one /v1/hw registry entry.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"soma/internal/engine"
 )
 
 // Store is the in-memory job table. It owns every state transition so the
@@ -68,6 +70,7 @@ func (st *Store) Add(req Request, in runInputs) View {
 		in:      in,
 		Created: time.Now(),
 		done:    make(chan struct{}),
+		events:  newEventLog(),
 	}
 	st.jobs[j.ID] = j
 	st.order = append(st.order, j.ID)
@@ -151,6 +154,7 @@ func (st *Store) finish(id string, state State, errMsg string, apply func(*Job))
 	if apply != nil {
 		apply(j)
 	}
+	j.events.close()
 	close(j.done)
 }
 
@@ -170,6 +174,7 @@ func (st *Store) Cancel(id string) (v View, found, conflict bool) {
 		j.State = StateCanceled
 		j.Err = "canceled before start"
 		j.Finished = time.Now()
+		j.events.close()
 		close(j.done)
 	case StateRunning:
 		if j.cancel != nil {
@@ -197,12 +202,36 @@ func (st *Store) CancelAll() {
 			j.State = StateCanceled
 			j.Err = "canceled: server shutting down"
 			j.Finished = time.Now()
+			j.events.close()
 			close(j.done)
 		case StateRunning:
 			if j.cancel != nil {
 				j.cancel()
 			}
 		}
+	}
+}
+
+// Events exposes a job's progress-event log; ok is false for unknown IDs.
+// Evicted jobs lose their logs together with their results.
+func (st *Store) Events(id string) (*eventLog, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.events, true
+}
+
+// appendEvent records one progress event on a job's log (no-op for unknown
+// or already-terminal jobs).
+func (st *Store) appendEvent(id string, e engine.Event) {
+	st.mu.Lock()
+	j, ok := st.jobs[id]
+	st.mu.Unlock()
+	if ok {
+		j.events.append(e)
 	}
 }
 

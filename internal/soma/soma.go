@@ -156,6 +156,16 @@ type Explorer struct {
 	// give each distinct workload/platform context a distinct scope. The
 	// private cache soma.New installs needs none.
 	Scope string
+	// Progress, when non-nil, receives solver progress callbacks (stage
+	// starts/finishes and per-chain incumbent improvements). It observes
+	// the search only and never changes the result; portfolio chains invoke
+	// it concurrently, so it must be safe for concurrent use.
+	Progress func(Progress)
+	// allocIter is the 1-based Buffer Allocator iteration currently
+	// running, tagged onto progress events. RunContext writes it strictly
+	// between RunOnce calls, so concurrent chain callbacks only ever read a
+	// settled value.
+	allocIter int
 }
 
 // New builds an explorer. The core-array scheduler cache and the evaluation
@@ -199,6 +209,7 @@ func (e *Explorer) Run() (*Result, error) {
 // iterations themselves via RunOnce).
 func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 	full := e.Cfg.GBufBytes
+	e.allocIter = 1
 	best, err := e.RunOnce(ctx, full, e.Par.Seed)
 	if err != nil {
 		return nil, err
@@ -221,6 +232,7 @@ func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 		if budget <= 0 {
 			break
 		}
+		e.allocIter = k + 1
 		cand, err := e.RunOnce(ctx, budget, e.Par.Seed+int64(k))
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr

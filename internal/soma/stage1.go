@@ -23,6 +23,7 @@ const encKeyPrefix = "enc:"
 // chains and keeps the best incumbent. Canceling ctx aborts the stage with
 // ctx.Err().
 func (e *Explorer) RunStage1(ctx context.Context, budget int64, seed int64) (*core.Encoding, StageResult, error) {
+	e.notify(Progress{Stage: "stage1", Kind: "start", AllocIter: e.allocIter, Budget: budget})
 	init := InitialEncoding(e.G, e.Cfg, e.Par.MinTile)
 	iters := e.Par.Beta1 * len(init.Order)
 	if e.Par.Stage1MaxIters > 0 && iters > e.Par.Stage1MaxIters {
@@ -52,7 +53,9 @@ func (e *Explorer) RunStage1(ctx context.Context, budget int64, seed int64) (*co
 	}
 
 	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed}
-	best, bestCost, stats := sa.RunPortfolioCtx(ctx, cfg, e.portfolio(), init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
+	pf := e.portfolio()
+	pf.OnImprove = e.improveHook("stage1")
+	best, bestCost, stats := sa.RunPortfolioCtx(ctx, cfg, pf, init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
 		return e.mutateLFA(enc, rng)
 	})
 	if err := ctx.Err(); err != nil {
@@ -69,6 +72,7 @@ func (e *Explorer) RunStage1(ctx context.Context, budget int64, seed int64) (*co
 	if m.BufferOK {
 		c = m.Cost(e.Obj.N, e.Obj.M)
 	}
+	e.notify(Progress{Stage: "stage1", Kind: "done", AllocIter: e.allocIter, Cost: c})
 	return best, StageResult{Metrics: m, Cost: c, Stats: stats}, nil
 }
 

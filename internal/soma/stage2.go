@@ -19,6 +19,8 @@ import (
 // split only constrains stage 1. Canceling ctx stops the annealer early and
 // returns the incumbent; RunOnce turns that into ctx.Err() for its caller.
 func (e *Explorer) RunStage2(ctx context.Context, sched *core.Schedule, seed int64) (*core.Schedule, StageResult) {
+	e.notify(Progress{Stage: "stage2", Kind: "start", AllocIter: e.allocIter,
+		Budget: e.Cfg.GBufBytes})
 	iters := e.Par.Beta2 * len(sched.Tensors)
 	if iters > e.Par.Stage2MaxIters {
 		iters = e.Par.Stage2MaxIters
@@ -38,11 +40,14 @@ func (e *Explorer) RunStage2(ctx context.Context, sched *core.Schedule, seed int
 		return m.Cost(e.Obj.N, e.Obj.M)
 	}
 	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed + 7919}
-	best, bestCost, stats := sa.RunPortfolioCtx(ctx, cfg, e.portfolio(), sched, costS, func(s *core.Schedule, rng *rand.Rand) (*core.Schedule, bool) {
+	pf := e.portfolio()
+	pf.OnImprove = e.improveHook("stage2")
+	best, bestCost, stats := sa.RunPortfolioCtx(ctx, cfg, pf, sched, costS, func(s *core.Schedule, rng *rand.Rand) (*core.Schedule, bool) {
 		c := s.Clone()
 		return c, mutateDLSA(c, picker, rng)
 	})
 	_, m := e.cost(best, e.Cfg.GBufBytes)
+	e.notify(Progress{Stage: "stage2", Kind: "done", AllocIter: e.allocIter, Cost: bestCost})
 	return best, StageResult{Metrics: m, Cost: bestCost, Stats: stats}
 }
 
