@@ -5,6 +5,7 @@
 package soma
 
 import (
+	"context"
 	"testing"
 
 	"soma/internal/cocco"
@@ -116,7 +117,7 @@ func BenchmarkFig7DSE(b *testing.B) {
 func BenchmarkFig8Trace(b *testing.B) {
 	c := exp.Case{Platform: "edge", Workload: "resnet50", Batch: 1}
 	for i := 0; i < b.N; i++ {
-		tp, err := exp.Fig8(c, fastPar())
+		tp, err := exp.Fig8(context.Background(), c, fastPar())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 //	soma -model resnet50 -ir out.ir -dram 32 -buf 16
 //	soma -scenario multi-tenant-cnn -json
 //	soma -scenario my_mix.json -profile fast
+//	soma -sweep grid.json -journal grid.jsonl -progress
 //	soma -list
 package main
 
@@ -56,6 +57,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the machine-readable result payload (same schema as the somad API) instead of the human report")
 	progress := flag.Bool("progress", false, "stream live search progress (stage transitions, chain improvements, cache hit rates) to stderr")
 	scenario := flag.String("scenario", "", "schedule a multi-model scenario: a built-in name (see -list) or a JSON spec file")
+	sweep := flag.String("sweep", "", "run a design-space exploration grid from a JSON sweep spec file (docs/dse.md)")
+	journal := flag.String("journal", "", "sweep checkpoint file (JSONL); an interrupted sweep resumes from its committed prefix")
 	list := flag.Bool("list", false, "list registered models, platforms and built-in scenarios, then exit")
 	flag.Parse()
 
@@ -92,6 +95,24 @@ func main() {
 	var hooks *engine.Hooks
 	if *progress {
 		hooks = &engine.Hooks{Event: printProgress}
+	}
+
+	if *sweep != "" {
+		// A sweep spec declares its own axes and search parameters; the
+		// single-run flags would silently conflict with them, so reject
+		// any that were set explicitly.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "sweep", "journal", "json", "progress":
+			default:
+				fatal(fmt.Errorf("-sweep specs declare their own axes and parameters; -%s is not allowed", f.Name))
+			}
+		})
+		runSweep(*sweep, *journal, *jsonOut, hooks)
+		return
+	}
+	if *journal != "" {
+		fatal(fmt.Errorf("-journal applies to -sweep runs only"))
 	}
 
 	if *scenario != "" {
@@ -325,7 +346,10 @@ func printReport(sched *core.Schedule, metrics *sim.Metrics) {
 // without it.
 func printProgress(e engine.Event) {
 	who := e.Backend
-	if e.Component != "" {
+	switch {
+	case who == "": // sweep-level events carry only the component tag
+		who = e.Component
+	case e.Component != "":
 		who += "/" + e.Component
 	}
 	switch e.Kind {
@@ -348,6 +372,16 @@ func printProgress(e engine.Event) {
 		fmt.Fprintf(os.Stderr, "[%s] finished, cost %s\n", who, report.E(e.Cost))
 	case "error":
 		fmt.Fprintf(os.Stderr, "[%s] failed: %s\n", who, e.Err)
+	case "sweep-start":
+		fmt.Fprintf(os.Stderr, "[%s] sweep started, %d grid points\n", who, e.Iter)
+	case "point-start":
+		fmt.Fprintf(os.Stderr, "[%s] point %d started\n", who, e.Iter)
+	case "point-done":
+		fmt.Fprintf(os.Stderr, "[%s] point %d done, cost %s\n", who, e.Iter, report.E(e.Cost))
+	case "point-error":
+		fmt.Fprintf(os.Stderr, "[%s] point %d failed: %s\n", who, e.Iter, e.Err)
+	case "sweep-done":
+		fmt.Fprintf(os.Stderr, "[%s] sweep finished, best cost %s\n", who, report.E(e.Cost))
 	}
 }
 

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"soma/internal/dse"
+	"soma/internal/engine"
+	"soma/internal/report"
+)
+
+// runSweep is the -sweep flow: parse the declarative grid spec, execute it
+// through the dse runner (checkpointing to -journal when given, resuming
+// automatically from a committed prefix), and report the rows plus the
+// sweep-level aggregates. The JSONL journal is the canonical byte-comparable
+// artifact - identical for any worker count and across interruptions.
+func runSweep(path, journal string, jsonOut bool, hooks *engine.Hooks) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	sw, err := dse.ParseSweep(data)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := dse.Run(context.Background(), sw, dse.Options{Journal: journal, Hooks: hooks})
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		// The exact outcome the somad sweeps API serves for this spec
+		// (rows scrubbed of run-dependent cache counters and in-memory
+		// artifacts).
+		out.Scrub()
+		if err := out.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printSweepReport(out)
+}
+
+func printSweepReport(out *dse.Outcome) {
+	name := out.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	fmt.Printf("sweep: %s (%d points, %d resumed from journal, %d failed)\n\n",
+		name, out.Points, out.Resumed, out.Failed)
+
+	t := report.New("grid", "point", "cost", "latency", "energy", "dram busy", "peak buf")
+	for _, row := range out.Rows {
+		if row.Err != "" {
+			t.Add(row.Point.Label(), "ERROR: "+row.Err)
+			continue
+		}
+		m := row.Result.Metrics
+		t.Add(row.Point.Label(), report.E(row.Result.Cost), report.Ms(m.LatencyNS),
+			fmt.Sprintf("%.3f mJ", m.EnergyPJ/1e9), report.Pct(m.DRAMUtilization),
+			report.MB(m.PeakBufferBytes))
+	}
+	fmt.Println(t.String())
+
+	if best := out.Best(); best != nil {
+		fmt.Printf("best: %s at cost %s\n", best.Point.Label(), report.E(best.Result.Cost))
+	}
+	if len(out.Pareto) > 0 {
+		p := report.New("cost vs buffer-size pareto front", "buffer", "point", "cost")
+		for _, i := range out.Pareto {
+			row := out.Rows[i]
+			p.Add(report.MB(row.Result.Hardware.GBufBytes), row.Point.Label(),
+				report.E(row.Result.Cost))
+		}
+		fmt.Println(p.String())
+	}
+	fmt.Printf("eval cache: %s hit rate, %d entries\n",
+		report.HitRate(out.Cache.Hits, out.Cache.Misses), out.Cache.Entries)
+}

@@ -147,9 +147,13 @@ func (h *harness) fig6(batches []int) error {
 	return h.emit(s, "fig6_summary.csv")
 }
 
-// fig7 reproduces the DSE heatmap for one workload/batch.
+// fig7 reproduces the DSE heatmap for one workload/batch (a dse grid sweep
+// under the hood; see docs/dse.md for the standalone -sweep form).
 func (h *harness) fig7(workload string, batch int) error {
-	pts := exp.Fig7(workload, batch, h.par, h.workers)
+	pts, err := exp.Fig7(context.Background(), workload, batch, h.par, h.workers)
+	if err != nil {
+		return err
+	}
 	t := report.New(fmt.Sprintf("Fig.7: DSE latency (ms) for %s batch %d on 16 TOPS edge", workload, batch),
 		"dram\\buf", "2MB", "4MB", "8MB", "16MB", "32MB", "scheme")
 	emitGrid := func(scheme string, get func(exp.DSEPoint) (float64, string)) {
@@ -190,7 +194,7 @@ func (h *harness) fig7(workload string, batch int) error {
 
 // fig8 renders the execution-graph comparison.
 func (h *harness) fig8(c exp.Case) error {
-	tp, err := exp.Fig8(c, h.par)
+	tp, err := exp.Fig8(context.Background(), c, h.par)
 	if err != nil {
 		return err
 	}

@@ -14,8 +14,12 @@
 //	  -d '{"model":"resnet50","batch":1,"hw":"edge","params":{"profile":"fast"}}'
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	  -d '{"scenario":"multi-tenant-cnn","params":{"profile":"fast"}}'
+//	curl -s -X POST localhost:8080/v1/sweeps \
+//	  -d '{"models":["resnet50"],"dram_gbps":[8,16,32],"gbuf_mb":[4,8]}'
 //	curl -s localhost:8080/v1/scenarios
 //	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/v1/sweeps/sweep-000002
+//	curl -sN localhost:8080/v1/sweeps/sweep-000002/events
 package main
 
 import (

@@ -1,0 +1,237 @@
+package dse
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+
+	"soma/internal/engine"
+	"soma/internal/sim"
+	"soma/internal/soma"
+)
+
+// Options configures one sweep execution.
+type Options struct {
+	// Cache shares one evaluation cache across every grid point (and, in
+	// the somad daemon, across sweeps and plain jobs). The engine scopes
+	// keys per (workload, batch, platform, hw-override) context, so
+	// heterogeneous points never collide while same-workload neighbors -
+	// seed and objective axes in particular - reuse each other's
+	// evaluations. nil gives the sweep a private shared cache. Sharing
+	// only changes lookup cost, never any result.
+	Cache *sim.Cache
+	// Hooks streams sweep progress: "sweep-start" (Iter = grid size),
+	// then per point "point-start" / "point-done" (Cost) / "point-error"
+	// (Err), each tagged Component = Point.Label() and Iter = point
+	// index, and finally "sweep-done" (Cost = best). nil disables
+	// streaming. The somad SSE endpoint serves this stream verbatim.
+	Hooks *engine.Hooks
+	// Journal is the checkpoint file path ("" disables journaling). If
+	// the file already holds a committed prefix of this exact sweep, those
+	// points are loaded instead of recomputed and the run continues after
+	// them; the finished file is byte-identical to an uninterrupted run's.
+	Journal string
+}
+
+// Outcome is a completed (or resumed-and-completed) sweep: every grid row
+// plus the summary aggregates.
+type Outcome struct {
+	Name       string `json:"name,omitempty"`
+	SpecSHA256 string `json:"spec_sha256"`
+	// Points is the grid size; Resumed counts rows loaded from the
+	// journal instead of recomputed; Failed counts error rows.
+	Points  int `json:"points"`
+	Resumed int `json:"resumed"`
+	Failed  int `json:"failed"`
+	// Rows holds every grid point in canonical index order.
+	Rows []Row `json:"rows"`
+	// BestIndex is the lowest-cost successful row (-1 if none).
+	BestIndex int `json:"best_index"`
+	// Pareto lists the row indices on the cost-vs-buffer-size frontier
+	// (ascending buffer), when the sweep spans more than one buffer size:
+	// the Fig. 7 co-design question "how much buffer is this cost
+	// reduction worth" as a typed aggregate.
+	Pareto []int `json:"pareto,omitempty"`
+	// Cache snapshots the evaluation cache after the sweep. Counters
+	// depend on cache warmth and worker interleaving (unlike Rows, which
+	// are deterministic).
+	Cache sim.CacheStats `json:"cache"`
+}
+
+// Best returns the lowest-cost successful row (nil if every point failed).
+func (o *Outcome) Best() *Row {
+	if o.BestIndex < 0 || o.BestIndex >= len(o.Rows) {
+		return nil
+	}
+	return &o.Rows[o.BestIndex]
+}
+
+// Scrub replaces every row with its Scrubbed form (no Raw artifacts, no
+// cache counters) - what the somad API stores and serves.
+func (o *Outcome) Scrub() {
+	for i := range o.Rows {
+		o.Rows[i] = o.Rows[i].Scrubbed()
+	}
+}
+
+// WriteJSON emits the outcome as indented JSON.
+func (o *Outcome) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o)
+}
+
+// Run expands the sweep and executes every point through engine.Run on a
+// bounded worker pool. Per-point search failures become error rows and the
+// sweep continues; ctx cancellation stops the grid promptly (in-flight
+// points abort mid-anneal via the engine's context threading) and returns
+// ctx's error, leaving any journal holding the committed prefix.
+//
+// Determinism: each point's result is a pure function of the spec (the
+// engine backends are seed-deterministic and cache sharing never changes
+// results), journal rows are committed strictly in point-index order, and
+// row payloads are Scrubbed of cache counters - so serial, parallel, and
+// interrupted-then-resumed executions of one spec all produce byte-identical
+// journals.
+func Run(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
+	pts, err := sw.Expand()
+	if err != nil {
+		return nil, err
+	}
+	_, par, err := sw.normalized()
+	if err != nil {
+		return nil, err
+	}
+	digest, err := sw.SpecSHA256()
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{Name: sw.Name, SpecSHA256: digest, Points: len(pts), BestIndex: -1}
+	out.Rows = make([]Row, len(pts))
+
+	// Resume: load the committed prefix, rewrite it verbatim, continue.
+	var jw *journal
+	start := 0
+	if opt.Journal != "" {
+		rows, lines, err := loadJournal(opt.Journal, digest, len(pts))
+		if err != nil {
+			return nil, err
+		}
+		if jw, err = openJournal(opt.Journal, sw, digest, len(pts), lines); err != nil {
+			return nil, err
+		}
+		defer jw.close()
+		copy(out.Rows, rows)
+		start = len(rows)
+		out.Resumed = len(rows)
+	}
+
+	cache := opt.Cache
+	if cache == nil {
+		cache = sim.NewCache(0)
+	}
+
+	opt.Hooks.Emit(engine.Event{Kind: "sweep-start", Component: sw.Name, Iter: len(pts)})
+
+	workers := sw.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	// In-order journal commit: workers finish points in any order, but rows
+	// hit the file strictly by index, so an interrupted journal is always a
+	// clean prefix.
+	var (
+		mu       sync.Mutex
+		done     = make([]bool, len(pts))
+		frontier = start
+		werr     error
+	)
+	commit := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done[i] = true
+		for frontier < len(pts) && done[frontier] {
+			if jw != nil && werr == nil {
+				werr = jw.append(out.Rows[frontier].Scrubbed())
+			}
+			frontier++
+		}
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := start; i < len(pts); i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			out.Rows[i] = runPoint(ctx, pts[i], par, cache, opt.Hooks)
+			// Commit completed rows even if cancellation raced in right
+			// after the solve finished - the journal keeps every point
+			// that was actually paid for. Aborted points (neither result
+			// nor error) stay uncommitted, stalling the in-order frontier
+			// so the journal remains a clean prefix.
+			if out.Rows[i].Result != nil || out.Rows[i].Err != "" {
+				commit(i)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if werr != nil {
+		return nil, werr
+	}
+
+	bestCost := -1.0 // the Hooks convention for "no valid cost"
+	for i := range out.Rows {
+		r := &out.Rows[i]
+		if r.Err != "" {
+			out.Failed++
+			continue
+		}
+		if r.Result != nil && (out.BestIndex < 0 || r.Result.Cost < bestCost) {
+			out.BestIndex, bestCost = i, r.Result.Cost
+		}
+	}
+	out.Pareto = CostVsBufferFront(out.Rows)
+	out.Cache = cache.Stats()
+	opt.Hooks.Emit(engine.Event{Kind: "sweep-done", Component: sw.Name, Cost: bestCost})
+	return out, nil
+}
+
+// runPoint solves one grid cell. Engine failures other than cancellation
+// become error rows - an infeasible (buffer, bandwidth) corner is data, not
+// a reason to abort the grid.
+func runPoint(ctx context.Context, p Point, par soma.Params, cache *sim.Cache, h *engine.Hooks) Row {
+	h.Emit(engine.Event{Kind: "point-start", Component: p.Label(), Iter: p.Index})
+	row := Row{Point: p}
+	req, err := p.Request(par)
+	if err == nil {
+		req.Cache = cache
+		row.Result, err = engine.Run(ctx, req, nil)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return row // aborted: never committed
+		}
+		row.Err = err.Error()
+		h.Emit(engine.Event{Kind: "point-error", Component: p.Label(), Iter: p.Index, Err: row.Err})
+		return row
+	}
+	h.Emit(engine.Event{Kind: "point-done", Component: p.Label(), Iter: p.Index, Cost: row.Result.Cost})
+	return row
+}

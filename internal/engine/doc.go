@@ -6,10 +6,12 @@
 // into the registry), and one Hooks stream reports live progress (stage
 // transitions, per-chain best-cost updates, evaluation-cache snapshots).
 //
-// Every surface of the repo - the soma CLI, the somad daemon, the exp
-// figure adapters, the examples - runs searches exclusively through
-// engine.Run, so cancellation, cache scoping, determinism and payload
-// assembly are centralized here instead of re-plumbed per caller. A fixed
-// seed yields byte-identical report payloads over every path, with or
-// without hooks installed.
+// Every surface of the repo - the soma CLI, the somad daemon, the dse sweep
+// runner, the exp figure adapters, the examples - runs searches exclusively
+// through engine.Run, so cancellation, cache scoping, determinism and
+// payload assembly are centralized here instead of re-plumbed per caller. A
+// fixed seed yields byte-identical report payloads over every path, with or
+// without hooks installed. Grid-shaped work (many Requests varying along
+// declared axes) belongs one layer up, in internal/dse, which adds worker
+// pooling, journaled resume and sweep-level progress on top of this API.
 package engine

@@ -1,0 +1,19 @@
+// Package exp implements the paper's experiments: every figure of the
+// evaluation (Sec. VI) and discussion (Sec. VII) maps to one function here,
+// shared between the somabench command and the root benchmark suite. The
+// top-level README's paper-artifact map lists which command regenerates
+// which figure.
+//
+// Since the engine refactor the package contains no search plumbing of its
+// own: comparison experiments (RunPair, Fig6) run engine.Compare, and
+// everything grid-shaped - the Fig. 7 bandwidth x buffer heatmap, the
+// Fig. 8 backend comparison, ObjectiveSweep and SeedSweep - is a thin
+// adapter over the dse sweep runner (internal/dse), which supplies the
+// worker pool, shared evaluation cache, and mid-grid cancellation. What
+// remains here is figure-specific shaping: pairing backend rows into bar
+// groups, geometric-mean summaries (Summarize), the Fig. 3 scatter
+// construction, and the Fig. 7 insight statistics (AnalyzeDSE).
+//
+// Registry exposes the shared model/platform/scenario/backend catalog behind
+// `soma -list` and the somad registry endpoints.
+package exp

@@ -1,8 +1,3 @@
-// Package exp implements the paper's experiments: every figure of the
-// evaluation (Sec. VI) and discussion (Sec. VII) maps to one function here,
-// shared between the somabench command and the benchmark suite. The
-// top-level README's paper-artifact map lists which command regenerates
-// which figure.
 package exp
 
 import (
@@ -15,6 +10,7 @@ import (
 
 	"soma/internal/core"
 	"soma/internal/coresched"
+	"soma/internal/dse"
 	"soma/internal/engine"
 	"soma/internal/graph"
 	"soma/internal/hw"
@@ -355,49 +351,49 @@ var (
 	Fig7Buffers    = []int64{2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20}
 )
 
-// Fig7 sweeps DRAM bandwidth x buffer size for one workload/batch.
-func Fig7(workload string, batch int, par soma.Params, workers int) []DSEPoint {
-	type cell struct{ bw, buf int }
-	var cells []cell
-	for i := range Fig7Bandwidths {
-		for j := range Fig7Buffers {
-			cells = append(cells, cell{i, j})
+// Fig7 sweeps DRAM bandwidth x buffer size for one workload/batch: a thin
+// adapter over the dse grid runner. Both backends run as one sweep sharing
+// one evaluation cache; ctx cancels promptly between (and within) grid
+// points. Per-cell search failures surface as the point's CoccoErr/SoMaErr,
+// exactly like the paper's infeasible heatmap corners.
+func Fig7(ctx context.Context, workload string, batch int, par soma.Params, workers int) ([]DSEPoint, error) {
+	bufsMB := make([]int64, len(Fig7Buffers))
+	for i, b := range Fig7Buffers {
+		bufsMB[i] = b >> 20
+	}
+	res, err := dse.Run(ctx, dse.Sweep{
+		Name:     "fig7",
+		Backends: []string{"cocco", "soma"},
+		Platforms: []string{"edge"}, Models: []string{workload},
+		Batches: []int{batch},
+		DRAMGBs: Fig7Bandwidths, GBufMB: bufsMB,
+		Params: &par, Workers: workers,
+	}, dse.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DSEPoint, 0, len(Fig7Bandwidths)*len(Fig7Buffers))
+	cell := make(map[[2]float64]int)
+	for _, bw := range Fig7Bandwidths {
+		for _, buf := range Fig7Buffers {
+			cell[[2]float64{bw, float64(buf >> 20)}] = len(out)
+			out = append(out, DSEPoint{DRAMGBs: bw, BufferMB: buf >> 20})
 		}
 	}
-	out := make([]DSEPoint, len(cells))
-	var wg sync.WaitGroup
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	for _, row := range res.Rows {
+		i := cell[[2]float64{row.Point.DRAMGBs, float64(row.Point.GBufMB)}]
+		var ms float64
+		if row.Result != nil {
+			ms = row.Result.Metrics.LatencyNS / 1e6
+		}
+		switch row.Point.Backend {
+		case "cocco":
+			out[i].CoccoMS, out[i].CoccoErr = ms, row.Err
+		case "soma":
+			out[i].SoMaMS, out[i].SoMaErr = ms, row.Err
+		}
 	}
-	sem := make(chan struct{}, workers)
-	for idx, cl := range cells {
-		wg.Add(1)
-		go func(idx int, cl cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := hw.Edge().WithDRAM(Fig7Bandwidths[cl.bw]).WithGBuf(Fig7Buffers[cl.buf])
-			pt := DSEPoint{DRAMGBs: Fig7Bandwidths[cl.bw], BufferMB: Fig7Buffers[cl.buf] >> 20}
-			req := engine.Request{Model: workload, Batch: batch, Platform: "edge",
-				Config: &cfg, Objective: soma.EDP(), Params: par}
-			ctx := context.Background()
-			coccoReq := req
-			coccoReq.Backend = "cocco"
-			if base, err := engine.Run(ctx, coccoReq, nil); err != nil {
-				pt.CoccoErr = err.Error()
-			} else {
-				pt.CoccoMS = base.Metrics.LatencyNS / 1e6
-			}
-			if ours, err := engine.Run(ctx, req, nil); err != nil {
-				pt.SoMaErr = err.Error()
-			} else {
-				pt.SoMaMS = ours.Metrics.LatencyNS / 1e6
-			}
-			out[idx] = pt
-		}(idx, cl)
-	}
-	wg.Wait()
-	return out
+	return out, nil
 }
 
 // TracePair renders the Fig. 8 execution graphs: Cocco, SoMa stage 1 and
@@ -407,20 +403,36 @@ type TracePair struct {
 	MCocco, M1, M2      *sim.Metrics
 }
 
-// Fig8 produces the three traced schedules for one case.
-func Fig8(c Case, par soma.Params) (*TracePair, error) {
+// Fig8 produces the three traced schedules for one case: a two-point dse
+// sweep over the backend axis (Cocco and SoMa on the same cell), then traced
+// re-evaluations of the three schedules.
+func Fig8(ctx context.Context, c Case, par soma.Params) (*TracePair, error) {
 	cfg, err := Platform(c.Platform)
 	if err != nil {
 		return nil, err
 	}
 	cs := coresched.New(cfg)
-	req := engine.Request{Model: c.Workload, Batch: c.Batch, Platform: c.Platform,
-		Objective: soma.EDP(), Params: par}
-	results, err := engine.Compare(context.Background(), req, "cocco", "soma")
+	res, err := dse.Run(ctx, dse.Sweep{
+		Name:     "fig8",
+		Backends: []string{"cocco", "soma"},
+		Platforms: []string{c.Platform}, Models: []string{c.Workload},
+		Batches: []int{c.Batch}, Params: &par,
+	}, dse.Options{})
 	if err != nil {
 		return nil, err
 	}
-	base, ours := results[0], results[1]
+	var base, ours *report.Result
+	for _, row := range res.Rows {
+		if row.Err != "" {
+			return nil, fmt.Errorf("%s: %s", row.Point.Label(), row.Err)
+		}
+		switch row.Point.Backend {
+		case "cocco":
+			base = row.Result
+		case "soma":
+			ours = row.Result
+		}
+	}
 	s1, err := core.Parse(ours.Raw.Graph, ours.Raw.Encoding)
 	if err != nil {
 		return nil, err

@@ -2,11 +2,12 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
-	"soma/internal/engine"
-	"soma/internal/models"
+	"soma/internal/dse"
+	"soma/internal/report"
 	"soma/internal/soma"
 )
 
@@ -21,41 +22,40 @@ type ObjectivePoint struct {
 
 // ObjectiveSweep schedules one case under several (n, m) objective exponents
 // and reports how the chosen schedule shifts along the energy/latency
-// frontier.
-func ObjectiveSweep(c Case, par soma.Params, objectives []soma.Objective) []ObjectivePoint {
+// frontier. It is a thin adapter over the dse grid runner: the objective
+// axis shares one evaluation cache (metrics are objective-independent, so
+// neighboring exponents reuse each other's evaluations) and ctx cancels
+// mid-grid.
+func ObjectiveSweep(ctx context.Context, c Case, par soma.Params, objectives []soma.Objective) []ObjectivePoint {
 	out := make([]ObjectivePoint, len(objectives))
-	cfg, err := Platform(c.Platform)
+	objs := make([]report.Objective, len(objectives))
+	for i, o := range objectives {
+		out[i] = ObjectivePoint{N: o.N, M: o.M}
+		objs[i] = report.Objective{N: o.N, M: o.M}
+	}
+	res, err := dse.Run(ctx, dse.Sweep{
+		Name:      "objective-sweep",
+		Models:    []string{c.Workload},
+		Batches:   []int{c.Batch},
+		Platforms: []string{c.Platform},
+		Objectives: objs,
+		Params:     &par,
+	}, dse.Options{})
 	if err != nil {
 		for i := range out {
 			out[i].Err = err
 		}
 		return out
 	}
-	g, err := models.Build(c.Workload, c.Batch)
-	if err != nil {
-		for i := range out {
-			out[i].Err = err
+	// The objective axis is the only multi-valued one, so rows map to the
+	// requested exponents one-to-one in order.
+	for i, row := range res.Rows {
+		if row.Err != "" {
+			out[i].Err = errors.New(row.Err)
+			continue
 		}
-		return out
-	}
-	res := ParallelMap(objectives, 0, func(obj soma.Objective) PairResult {
-		r, err := engine.Run(context.Background(), engine.Request{Graph: g,
-			Model: c.Workload, Batch: c.Batch, Platform: c.Platform, Config: &cfg,
-			Objective: obj, Params: par}, nil)
-		if err != nil {
-			return PairResult{Err: err}
-		}
-		return PairResult{Ours2: Row{
-			LatencyNS: r.Metrics.LatencyNS,
-			EnergyPJ:  r.Metrics.EnergyPJ,
-		}}
-	})
-	for i, r := range res {
-		out[i] = ObjectivePoint{N: objectives[i].N, M: objectives[i].M, Err: r.Err}
-		if r.Err == nil {
-			out[i].LatencyMS = r.Ours2.LatencyNS / 1e6
-			out[i].EnergyMJ = r.Ours2.EnergyPJ / 1e9
-		}
+		out[i].LatencyMS = row.Result.Metrics.LatencyNS / 1e6
+		out[i].EnergyMJ = row.Result.Metrics.EnergyPJ / 1e9
 	}
 	return out
 }
@@ -94,33 +94,27 @@ type SeedStats struct {
 
 // SeedSweep runs SoMa on one case with k different seeds and reports the
 // latency spread - the reproducibility check the artifact's fixed-seed
-// protocol relies on.
-func SeedSweep(c Case, par soma.Params, seeds []int64) (SeedStats, error) {
-	cfg, err := Platform(c.Platform)
+// protocol relies on. The seed axis is a dse sweep sharing one evaluation
+// cache, so chains re-exploring states a neighboring seed already evaluated
+// hit warm entries; ctx cancels mid-grid.
+func SeedSweep(ctx context.Context, c Case, par soma.Params, seeds []int64) (SeedStats, error) {
+	res, err := dse.Run(ctx, dse.Sweep{
+		Name:      "seed-sweep",
+		Models:    []string{c.Workload},
+		Batches:   []int{c.Batch},
+		Platforms: []string{c.Platform},
+		Seeds:     seeds,
+		Params:    &par,
+	}, dse.Options{})
 	if err != nil {
 		return SeedStats{}, err
 	}
-	g, err := models.Build(c.Workload, c.Batch)
-	if err != nil {
-		return SeedStats{}, err
-	}
-	res := ParallelMap(seeds, 0, func(seed int64) PairResult {
-		p := par
-		p.Seed = seed
-		r, err := engine.Run(context.Background(), engine.Request{Graph: g,
-			Model: c.Workload, Batch: c.Batch, Platform: c.Platform, Config: &cfg,
-			Objective: soma.EDP(), Params: p}, nil)
-		if err != nil {
-			return PairResult{Err: err}
-		}
-		return PairResult{Ours2: Row{LatencyNS: r.Metrics.LatencyNS}}
-	})
 	var ms []float64
-	for _, r := range res {
-		if r.Err != nil {
-			return SeedStats{}, r.Err
+	for _, row := range res.Rows {
+		if row.Err != "" {
+			return SeedStats{}, errors.New(row.Err)
 		}
-		ms = append(ms, r.Ours2.LatencyNS/1e6)
+		ms = append(ms, row.Result.Metrics.LatencyNS/1e6)
 	}
 	sort.Float64s(ms)
 	st := SeedStats{

@@ -1,0 +1,21 @@
+// Package hw models the generic large-scale DNN accelerator template of the
+// paper's Fig. 1: a DRAM channel, a shared Global Buffer (GBUF), and a group
+// of cores, each with a PE array for GEMM/Conv, a vector unit for
+// element-wise work, and private L0 buffers (WL0/AL0/OL0).
+//
+// Two presets mirror the paper's evaluation platforms: a 16 TOPS edge device
+// and a 128 TOPS cloud device, both at 1 GHz with INT8 datapaths. Unit
+// energies reproduce the relative ordering of the authors' RTL-derived
+// numbers (DRAM >> GBUF >> L0 ~ MAC).
+//
+// The package also owns the named-preset registry (Platform / Platforms),
+// deliberately placed at the bottom of the dependency graph so the engine,
+// the exp figure adapters, the dse sweep runner, the CLIs and the somad
+// /v1/hw endpoint all resolve platform names through one table and cannot
+// drift apart.
+//
+// WithDRAM and WithGBuf derive parametric variants of a preset - the
+// Fig. 7 design-space axes; the dse sweep spec's dram_gbps/gbuf_mb fields
+// compose them in that order, so derived names (edge-d32-b8MB) are stable
+// across every sweep surface.
+package hw

@@ -1,13 +1,3 @@
-// Package hw models the generic large-scale DNN accelerator template of the
-// paper's Fig. 1: a DRAM channel, a shared Global Buffer (GBUF), and a group
-// of cores, each with a PE array for GEMM/Conv, a vector unit for
-// element-wise work, and private L0 buffers (WL0/AL0/OL0).
-//
-// Two presets mirror the paper's evaluation platforms: a 16 TOPS edge device
-// and a 128 TOPS cloud device, both at 1 GHz with INT8 datapaths. Unit
-// energies reproduce the relative ordering of the authors' RTL-derived
-// numbers (DRAM >> GBUF >> L0 ~ MAC); see DESIGN.md for the substitution
-// rationale.
 package hw
 
 import (

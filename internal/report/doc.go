@@ -1,16 +1,28 @@
-// Package report provides the table and CSV emitters the experiment harness
-// uses to print paper-figure data series.
+// Package report owns the two output shapes every surface of the repo
+// shares: the machine-readable Result payload and the human-readable
+// table/CSV emitters.
 //
-// Every figure command of somabench builds its output as a report.Table:
-// String renders an aligned text table for the terminal, WriteCSV emits the
-// same series as a CSV file (the -out flag), so a figure's numbers exist in
-// exactly one place. The formatting helpers encode the units conventions
-// used throughout the evaluation (Sec. VI): Ms for latencies (milliseconds),
-// MB for buffer sizes (mebibytes), Pct for utilizations, X for the speedup
-// ratios of the Sec. VI-B summary, and HitRate for the evaluation-cache
-// counters of the parallel search engine.
+// Result is the wire payload of one scheduling run - workload, hardware,
+// objective, cost, canonical-encoding digests, metrics, schedule statistics,
+// search statistics, and (for composed runs) the Scenario section. The soma
+// CLI's -json flag, the somad jobs and sweeps APIs, and the dse journal all
+// render this exact struct through encoding/json, so a fixed-seed run
+// returns byte-identical bytes over every path and scripts never scrape
+// human tables. FromSoma/FromCocco assemble it from the solver results; the
+// non-serialized Raw section carries the in-memory graph, encoding, schedule
+// and metrics for trace rendering, ISA lowering and figure adapters without
+// perturbing the wire bytes.
 //
-// The package is deliberately dependency-free (it formats, it does not
-// compute) so every layer - cmd binaries, internal/exp, tests - can use it
-// without import cycles.
+// Table is the human side: every somabench figure builds its output as a
+// report.Table - String renders an aligned text table, WriteCSV emits the
+// same series as CSV (the -out flag) - so a figure's numbers exist in
+// exactly one place. The formatting helpers encode the evaluation's unit
+// conventions (Sec. VI): Ms for latencies, MB for buffer sizes, Pct for
+// utilizations, X for speedup ratios, and HitRate for evaluation-cache
+// counters.
+//
+// The package depends only on the solver result types (it formats and
+// assembles, it does not compute), so every layer - cmd binaries,
+// internal/exp, internal/dse, internal/service, tests - uses it without
+// import cycles.
 package report

@@ -15,5 +15,12 @@
 //
 // Results are report.Result payloads - the same struct `soma -json` prints -
 // so a fixed-seed job returns byte-identical cost and encoding over HTTP and
-// over the CLI. The endpoint contract is documented in docs/api.md.
+// over the CLI.
+//
+// Design-space exploration grids share the same machinery: POST /v1/sweeps
+// queues a dse.Sweep as one job (the grid parallelizes internally via the
+// dse runner), reusing the worker pool, the process-wide cache and the
+// per-job SSE event stream; sweep rows are served scrubbed, byte-identical
+// to the journal `soma -sweep` writes for the same spec. The endpoint
+// contract is documented in docs/api.md.
 package service

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"soma/internal/dse"
 	"soma/internal/engine"
 	"soma/internal/hw"
 	"soma/internal/models"
@@ -55,22 +56,18 @@ type Request struct {
 }
 
 // ParamsRequest overrides individual search hyper-parameters on top of the
-// named profile, mirroring the cmd/soma flags.
-type ParamsRequest struct {
-	// Profile is fast|default|paper (default: default).
-	Profile string `json:"profile,omitempty"`
-	Seed    int64  `json:"seed,omitempty"`
-	Chains  int    `json:"chains,omitempty"`
-	Workers int    `json:"workers,omitempty"`
-	Beta1   int    `json:"beta1,omitempty"`
-	Beta2   int    `json:"beta2,omitempty"`
-}
+// named profile, mirroring the cmd/soma flags. It is the same search block
+// a dse sweep spec carries, resolved by the same rule (dse.Search.Params),
+// so job and sweep parameter semantics cannot drift.
+type ParamsRequest = dse.Search
 
-// runInputs are the resolved execution inputs of one job: the fully
-// normalized engine request (the server adds its shared cache and a hooks
-// stream when a worker picks the job up).
+// runInputs are the resolved execution inputs of one job: either the fully
+// normalized engine request of a plain scheduling job, or the sweep spec of
+// a /v1/sweeps grid job (the server adds its shared cache and a hooks stream
+// when a worker picks the job up).
 type runInputs struct {
-	req engine.Request
+	req   engine.Request
+	sweep *dse.Sweep
 }
 
 // normalize fills defaults and validates the request against the model,
@@ -119,21 +116,9 @@ func (r *Request) normalize() (in runInputs, err error) {
 	if p == nil {
 		p = &ParamsRequest{}
 	}
-	par, err := soma.ProfileParams(p.Profile)
+	par, err := p.Params()
 	if err != nil {
 		return in, err
-	}
-	if p.Seed != 0 {
-		par.Seed = p.Seed
-	}
-	par.Chains = p.Chains
-	par.Workers = p.Workers
-	if p.Beta1 > 0 {
-		par.Beta1 = p.Beta1
-	}
-	if p.Beta2 > 0 {
-		par.Beta2 = p.Beta2
-		par.Stage2MaxIters = 1 << 20
 	}
 	in.req = engine.Request{
 		Backend:   r.Framework,
@@ -159,8 +144,9 @@ func (r *Request) normalize() (in runInputs, err error) {
 	return in, nil
 }
 
-// Job is one scheduling request moving through the queue. All fields are
-// guarded by the Store's lock; handlers only ever see View snapshots.
+// Job is one scheduling request (or sweep) moving through the queue. All
+// fields are guarded by the Store's lock; handlers only ever see View
+// snapshots.
 type Job struct {
 	ID    string
 	State State
@@ -169,7 +155,10 @@ type Job struct {
 	in runInputs
 
 	Result *report.Result
-	Err    string
+	// SweepOut is the sweep-job counterpart of Result (rows scrubbed of
+	// in-memory artifacts and run-dependent cache counters).
+	SweepOut *dse.Outcome
+	Err      string
 
 	Created  time.Time
 	Started  time.Time
@@ -185,22 +174,34 @@ type Job struct {
 	events *eventLog
 }
 
-// View is the JSON shape of a job served by the API.
+// View is the JSON shape of a job served by the API. Plain jobs carry
+// request/result; sweep jobs carry sweep/sweep_result instead.
 type View struct {
-	ID      string  `json:"id"`
-	State   State   `json:"state"`
-	Request Request `json:"request"`
-	Error   string  `json:"error,omitempty"`
+	ID      string   `json:"id"`
+	State   State    `json:"state"`
+	Request *Request `json:"request,omitempty"`
+	// Sweep is the submitted grid spec (sweep jobs only).
+	Sweep *dse.Sweep `json:"sweep,omitempty"`
+	Error string     `json:"error,omitempty"`
 	// Result is present once State == done.
-	Result     *report.Result `json:"result,omitempty"`
-	CreatedAt  string         `json:"created_at"`
-	StartedAt  string         `json:"started_at,omitempty"`
-	FinishedAt string         `json:"finished_at,omitempty"`
+	Result *report.Result `json:"result,omitempty"`
+	// SweepResult is the sweep-job counterpart of Result.
+	SweepResult *dse.Outcome `json:"sweep_result,omitempty"`
+	CreatedAt   string       `json:"created_at"`
+	StartedAt   string       `json:"started_at,omitempty"`
+	FinishedAt  string       `json:"finished_at,omitempty"`
 }
 
 func (j *Job) view() View {
-	v := View{ID: j.ID, State: j.State, Request: j.Req, Error: j.Err,
-		Result: j.Result, CreatedAt: j.Created.UTC().Format(time.RFC3339Nano)}
+	v := View{ID: j.ID, State: j.State, Error: j.Err,
+		Result: j.Result, SweepResult: j.SweepOut,
+		CreatedAt: j.Created.UTC().Format(time.RFC3339Nano)}
+	if j.in.sweep != nil {
+		v.Sweep = j.in.sweep
+	} else {
+		req := j.Req
+		v.Request = &req
+	}
 	if !j.Started.IsZero() {
 		v.StartedAt = j.Started.UTC().Format(time.RFC3339Nano)
 	}

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
 
+	"soma/internal/dse"
 	"soma/internal/engine"
 	"soma/internal/exp"
 	"soma/internal/hw"
@@ -145,6 +147,10 @@ func (s *Server) runJob(id string) {
 		return
 	}
 	hooks := &engine.Hooks{Event: func(e engine.Event) { s.store.appendEvent(id, e) }}
+	if in.sweep != nil {
+		s.runSweepJob(ctx, id, *in.sweep, hooks)
+		return
+	}
 	res, err := s.execute(ctx, in, hooks)
 	switch {
 	case err == nil:
@@ -160,6 +166,25 @@ func (s *Server) runJob(id string) {
 			}
 		}
 		s.store.finish(id, StateDone, "", func(j *Job) { j.Result = res })
+	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		s.store.finish(id, StateCanceled, "canceled", nil)
+	default:
+		s.store.finish(id, StateFailed, err.Error(), nil)
+	}
+}
+
+// runSweepJob executes one sweep job through the dse grid runner with the
+// process-wide cache, streaming per-point progress onto the job's event log
+// (served live by the sweeps SSE endpoint). Retained outcomes are scrubbed:
+// rows lose their in-memory Raw artifacts and run-dependent cache counters,
+// which makes a fixed-seed sweep's rows byte-identical to the journal
+// `soma -sweep` writes for the same spec.
+func (s *Server) runSweepJob(ctx context.Context, id string, sw dse.Sweep, hooks *engine.Hooks) {
+	out, err := dse.Run(ctx, sw, dse.Options{Cache: s.cache, Hooks: hooks})
+	switch {
+	case err == nil:
+		out.Scrub()
+		s.store.finish(id, StateDone, "", func(j *Job) { j.SweepOut = out })
 	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
 		s.store.finish(id, StateCanceled, "canceled", nil)
 	default:
@@ -191,6 +216,11 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	s.mux = mux
 }
 
@@ -355,7 +385,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	v := s.store.Add(req, in)
+	s.enqueue(w, r, s.store.Add(req, in))
+}
+
+// enqueue pushes a freshly added job onto the worker queue and writes the
+// submit response: 202 with the queued view, 503 when the queue is full, or
+// - with ?wait=1 - the blocking terminal result. Shared by the jobs and
+// sweeps submit handlers so the queue-full and wait contracts cannot drift.
+func (s *Server) enqueue(w http.ResponseWriter, r *http.Request, v View) {
 	select {
 	case s.queue <- v.ID:
 	default:
@@ -368,6 +405,59 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, v)
+}
+
+// MaxSweepPoints bounds the grid size POST /v1/sweeps accepts: a typoed axis
+// cross product should fail fast with a 400, not occupy a worker for hours.
+const MaxSweepPoints = 4096
+
+// handleSweepSubmit is POST /v1/sweeps: the body is a dse sweep spec
+// (docs/dse.md). The expanded grid runs as one queued job on the shared
+// worker pool and evaluation cache; per-point progress streams on
+// GET /v1/sweeps/{id}/events.
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	sw, err := dse.ParseSweep(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Bound the grid before expanding it: GridSize is a cheap product, so a
+	// tiny request body declaring astronomically crossed axes gets its 400
+	// without the server ever materializing a point slice.
+	if n := sw.GridSize(); n > MaxSweepPoints {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("sweep expands to %d points, limit %d", n, MaxSweepPoints))
+		return
+	}
+	if err := sw.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.enqueue(w, r, s.store.Add(Request{}, runInputs{sweep: &sw}))
+}
+
+// handleSweepList is GET /v1/sweeps: every sweep job in submission order
+// (plain jobs stay on /v1/jobs and vice versa).
+func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
+	var sweeps []View
+	for _, v := range s.store.List() {
+		if v.Sweep != nil {
+			sweeps = append(sweeps, v)
+		}
+	}
+	if sweeps == nil {
+		sweeps = []View{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]View{"sweeps": sweeps})
 }
 
 // waitFor blocks a ?wait=1 submit until the job reaches a terminal state.
@@ -395,8 +485,19 @@ func (s *Server) waitFor(w http.ResponseWriter, r *http.Request, id string) {
 	}
 }
 
+// handleList is GET /v1/jobs: every plain job in submission order (sweep
+// jobs are listed on /v1/sweeps).
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]View{"jobs": s.store.List()})
+	var jobs []View
+	for _, v := range s.store.List() {
+		if v.Sweep == nil {
+			jobs = append(jobs, v)
+		}
+	}
+	if jobs == nil {
+		jobs = []View{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]View{"jobs": jobs})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {

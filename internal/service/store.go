@@ -58,13 +58,19 @@ func (st *Store) evict() {
 }
 
 // Add registers a new queued job (req already normalized into its run
-// inputs) and returns its snapshot.
+// inputs) and returns its snapshot. Sweep jobs (in.sweep set) get the
+// "sweep-" ID prefix so the two /v1 namespaces stay visually distinct while
+// sharing one table, queue and worker pool.
 func (st *Store) Add(req Request, in runInputs) View {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.seq++
+	kind := "job"
+	if in.sweep != nil {
+		kind = "sweep"
+	}
 	j := &Job{
-		ID:      fmt.Sprintf("job-%06d", st.seq),
+		ID:      fmt.Sprintf("%s-%06d", kind, st.seq),
 		State:   StateQueued,
 		Req:     req,
 		in:      in,
