@@ -8,6 +8,7 @@
 //	somabench stats  - fusion-structure statistics (tiles, LGs, FLGs)
 //	somabench llm    - GPT-2 decode utilization vs batch size
 //	somabench ablate - ablations of SoMa's design choices
+//	somabench snapshot - per-move evaluation cost snapshot (BENCH_6.json)
 //	somabench all    - everything above
 //
 // Results print as tables and, with -out DIR, also as CSV files.
@@ -42,6 +43,9 @@ func main() {
 	batch := fs.Int("batch", 1, "batch size for fig7/fig8")
 	batches := fs.String("batches", "", "comma list of batch sizes for fig6 (default 1,4,16,64)")
 	seed := fs.Int64("seed", 1, "search seed")
+	snapOut := fs.String("snapshot-out", "", "snapshot: write the measurement as JSON to FILE (e.g. BENCH_6.json)")
+	snapCheck := fs.String("check", "", "snapshot: compare against committed snapshot FILE, exit non-zero on regression")
+	snapSolve := fs.Bool("solve", true, "snapshot: include end-to-end solve times (always off with -check)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -53,7 +57,7 @@ func main() {
 	par.Seed = *seed
 	par.Chains = *chains
 	par.Workers = *chainWorkers
-	h := &harness{par: par, workers: *workers, outDir: *outDir}
+	h := &harness{par: par, profile: *profile, workers: *workers, outDir: *outDir}
 
 	switch cmd {
 	case "fig2":
@@ -76,6 +80,8 @@ func main() {
 		err = h.edp(exp.Case{Platform: *platform, Workload: *workload, Batch: *batch})
 	case "seeds":
 		err = h.seeds(exp.Case{Platform: *platform, Workload: *workload, Batch: *batch})
+	case "snapshot":
+		err = h.snapshot(*snapOut, *snapCheck, *snapSolve)
 	case "all":
 		err = h.all()
 	default:
@@ -88,7 +94,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: somabench {fig2|fig3|fig6|fig7|fig8|stats|llm|ablate|edp|seeds|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: somabench {fig2|fig3|fig6|fig7|fig8|stats|llm|ablate|edp|seeds|snapshot|all} [flags]")
 }
 
 func fatal(err error) {
@@ -128,6 +134,7 @@ func parseBatches(s string) []int {
 
 type harness struct {
 	par     soma.Params
+	profile string
 	workers int
 	outDir  string
 }

@@ -1,0 +1,446 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"soma/internal/core"
+	"soma/internal/coresched"
+	"soma/internal/engine"
+	"soma/internal/exp"
+	"soma/internal/models"
+	"soma/internal/report"
+	"soma/internal/sim"
+	"soma/internal/soma"
+)
+
+// BenchSchema identifies the snapshot file format. BENCH_6.json (committed at
+// the repo root) is the first point of the performance trajectory: it records
+// the stage-2 DLSA per-move cost of the incremental evaluator against the
+// historical clone-and-replay path for every zoo model, plus an end-to-end
+// solve time. CI regenerates the measurement and fails on regression (see
+// checkSnapshot for the exact rules).
+const BenchSchema = "soma-bench/v1"
+
+// BenchEntry is one zoo model's measurement.
+type BenchEntry struct {
+	Model    string `json:"model"`
+	Platform string `json:"platform"`
+	Batch    int    `json:"batch"`
+	Tiles    int    `json:"tiles"`
+	Tensors  int    `json:"tensors"`
+
+	// IncNsPerMove / IncAllocsPerMove cost one stage-2 DLSA proposal on
+	// sim.Incremental (move + suffix re-simulation + accept/reject).
+	IncNsPerMove     float64 `json:"inc_ns_per_move"`
+	IncAllocsPerMove float64 `json:"inc_allocs_per_move"`
+	// FullNsPerMove / FullAllocsPerMove cost the same proposal on the
+	// historical path: clone the schedule, mutate the clone, evaluate it
+	// from scratch with sim.Evaluate.
+	FullNsPerMove     float64 `json:"full_ns_per_move"`
+	FullAllocsPerMove float64 `json:"full_allocs_per_move"`
+	// Speedup is FullNsPerMove / IncNsPerMove.
+	Speedup float64 `json:"speedup"`
+	// ResumedFrac is the fraction of evaluated proposals that resumed from
+	// a mid-schedule checkpoint; EventsFrac the fraction of merge events
+	// actually re-simulated (both from sim.IncStats).
+	ResumedFrac float64 `json:"resumed_frac"`
+	EventsFrac  float64 `json:"events_frac"`
+	// SolveMS is the end-to-end soma solve wall time under the selected
+	// profile. Machine- and load-dependent: recorded for the trajectory,
+	// never gated on.
+	SolveMS float64 `json:"solve_ms,omitempty"`
+}
+
+// BenchSnapshot is the BENCH_6.json payload.
+type BenchSnapshot struct {
+	Schema  string       `json:"schema"`
+	Profile string       `json:"profile"`
+	Seed    int64        `json:"seed"`
+	Models  []BenchEntry `json:"models"`
+}
+
+// snapshotCases pairs every zoo model with its paper platform (GPT-2 XL and
+// the large transformer run on the cloud configuration, everything else on
+// edge), all at batch 1.
+func snapshotCases() []exp.Case {
+	// vgg16's weight-dominated layers need the cloud buffer to admit a
+	// feasible fast-profile schedule; the GPT-2 XL and large-transformer
+	// pairing follows the paper.
+	cloud := map[string]bool{"gpt2xl-prefill": true, "gpt2xl-decode": true,
+		"transformer-large": true, "vgg16": true}
+	names := []string{"resnet50", "resnet101", "ires", "randwire", "vgg16",
+		"mobilenetv2", "transformer-large", "gpt2s-prefill", "gpt2s-decode",
+		"gpt2xl-prefill", "gpt2xl-decode"}
+	out := make([]exp.Case, 0, len(names))
+	for _, n := range names {
+		pf := "edge"
+		if cloud[n] {
+			pf = "cloud"
+		}
+		out = append(out, exp.Case{Platform: pf, Workload: n, Batch: 1})
+	}
+	return out
+}
+
+// snapshot measures the per-move evaluation cost of every zoo model and
+// optionally writes the result (-snapshot-out) or compares it against a
+// committed snapshot (-check), exiting non-zero on regression. The -check
+// path skips the end-to-end solve column: per-move costs are what the guard
+// gates on, and skipping the solves keeps the CI step fast.
+func (h *harness) snapshot(outFile, checkFile string, solve bool) error {
+	snap := BenchSnapshot{Schema: BenchSchema, Profile: h.profile, Seed: h.par.Seed}
+	if checkFile != "" {
+		solve = false
+	}
+	for _, c := range snapshotCases() {
+		e, err := h.benchCase(c, solve)
+		if err != nil {
+			return fmt.Errorf("snapshot %s: %w", c, err)
+		}
+		snap.Models = append(snap.Models, e)
+	}
+
+	if err := h.emit(snapshotTable(snap), "snapshot.csv"); err != nil {
+		return err
+	}
+	if outFile != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outFile, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", outFile)
+	}
+	if checkFile != "" {
+		return checkSnapshot(snap, checkFile)
+	}
+	return nil
+}
+
+// benchCase measures one model: both per-move benchmarks share the tile-cost
+// precomputation and walk deterministic move sequences drawn from the same
+// seed and operator mix, so the ratio isolates the evaluator strategy.
+func (h *harness) benchCase(c exp.Case, solve bool) (BenchEntry, error) {
+	cfg, err := exp.Platform(c.Platform)
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	g, err := models.Build(c.Workload, c.Batch)
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	s, err := core.Parse(g, core.DefaultEncoding(g, 1))
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	cs := coresched.New(cfg)
+	tc := sim.PrecomputeTileCosts(s, cs)
+	opt := sim.Options{BufferBudget: cfg.GBufBytes, TileCosts: tc}
+	seed := h.par.Seed
+
+	// Fixed-length walks, best wall time of benchReps repetitions: an
+	// adaptive-round benchmark (testing.Benchmark) proved too noisy for a
+	// CI-gated ratio, while min-of-reps over an identical deterministic
+	// walk is stable to a few percent and keeps alloc counts exact.
+	var stats sim.IncStats
+	incBench := bestOf(func() moveBench {
+		ev, err := sim.NewIncremental(s.Clone(), cs, opt)
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		mb := measureMoves(incBenchMoves, func() {
+			if !proposeIncMove(ev, rng) {
+				return
+			}
+			if _, err := ev.EvaluateProposal(); err != nil {
+				ev.Reject()
+				return
+			}
+			if rng.Intn(2) == 0 {
+				ev.Accept()
+			} else {
+				ev.Reject()
+			}
+		})
+		stats = ev.Stats()
+		return mb
+	})
+
+	fullBench := bestOf(func() moveBench {
+		cur := s.Clone()
+		rng := rand.New(rand.NewSource(seed))
+		return measureMoves(fullBenchMoves, func() {
+			cand := cur.Clone()
+			if !proposeFullMove(cand, rng) {
+				return
+			}
+			if _, err := sim.Evaluate(cand, cs, opt); err != nil {
+				return
+			}
+			if rng.Intn(2) == 0 {
+				cur = cand
+			}
+		})
+	})
+
+	e := BenchEntry{
+		Model: c.Workload, Platform: c.Platform, Batch: c.Batch,
+		Tiles: s.NumTiles(), Tensors: len(s.Tensors),
+		IncNsPerMove:      incBench.nsPerMove,
+		IncAllocsPerMove:  incBench.allocsPerMove,
+		FullNsPerMove:     fullBench.nsPerMove,
+		FullAllocsPerMove: fullBench.allocsPerMove,
+	}
+	if e.IncNsPerMove > 0 {
+		e.Speedup = e.FullNsPerMove / e.IncNsPerMove
+	}
+	if stats.Proposals > 0 {
+		e.ResumedFrac = float64(stats.Resumed) / float64(stats.Proposals)
+	}
+	if stats.EventsTotal > 0 {
+		e.EventsFrac = float64(stats.EventsSimulated) / float64(stats.EventsTotal)
+	}
+
+	if solve {
+		start := time.Now()
+		_, err := engine.Run(context.Background(), engine.Request{Backend: "soma",
+			Model: c.Workload, Batch: c.Batch, Platform: c.Platform,
+			Objective: soma.EDP(), Params: h.par}, nil)
+		switch {
+		case errors.Is(err, soma.ErrNoFeasible):
+			// Feasibility under a reduced search budget is a property of
+			// the (model, platform) pairing, not of the evaluator this
+			// snapshot measures: record the point without a solve column.
+			fmt.Fprintf(os.Stderr, "snapshot: %s: no feasible schedule under profile %q; solve time omitted\n",
+				c, h.profile)
+		case err != nil:
+			return e, err
+		default:
+			e.SolveMS = float64(time.Since(start)) / float64(time.Millisecond)
+		}
+	}
+	return e, nil
+}
+
+// The per-move measurement walks a deterministic move sequence and times a
+// fixed number of moves, sized per path so the timed window stays well
+// above scheduler-noise scale (the incremental path is ~1000x faster per
+// move, so it gets proportionally more moves). benchReps repetitions run
+// and the minimum wins: CI gates on the resulting ratio, so the estimator
+// must be stable, and min-of-reps over a >=100ms window is.
+const (
+	incBenchMoves  = 50000
+	fullBenchMoves = 2000
+	benchReps      = 5
+)
+
+type moveBench struct {
+	nsPerMove     float64
+	allocsPerMove float64
+}
+
+// measureMoves times moves invocations of step after a warmup of a tenth as
+// many, reporting wall time and heap allocations per move.
+func measureMoves(moves int, step func()) moveBench {
+	for i := 0; i < moves/10; i++ {
+		step()
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < moves; i++ {
+		step()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return moveBench{
+		nsPerMove:     float64(elapsed.Nanoseconds()) / float64(moves),
+		allocsPerMove: float64(after.Mallocs-before.Mallocs) / float64(moves),
+	}
+}
+
+// bestOf runs the measurement benchReps times and keeps the fastest wall
+// time and the smallest allocation count (allocations are deterministic;
+// the min discards GC bookkeeping noise).
+func bestOf(run func() moveBench) moveBench {
+	best := run()
+	for i := 1; i < benchReps; i++ {
+		mb := run()
+		if mb.nsPerMove < best.nsPerMove {
+			best.nsPerMove = mb.nsPerMove
+		}
+		if mb.allocsPerMove < best.allocsPerMove {
+			best.allocsPerMove = mb.allocsPerMove
+		}
+	}
+	return best
+}
+
+// proposeIncMove applies one random stage-2 DLSA operator to the incremental
+// evaluator, leaving a pending proposal when it returns true. The operator
+// mix mirrors soma's stage2Moves.Propose (uniform tensor choice instead of
+// the size-weighted picker: both benchmark paths use the same draws, so the
+// comparison stays fair).
+func proposeIncMove(ev *sim.Incremental, rng *rand.Rand) bool {
+	s := ev.Schedule()
+	id := rng.Intn(len(s.Tensors))
+	if rng.Intn(2) == 0 {
+		return ev.MoveTensor(ev.PosOf(id), rng.Intn(len(s.Order)))
+	}
+	delta := durationJitter(s, rng)
+	if s.Tensors[id].Kind.IsLoad() {
+		return ev.SetStart(id, s.Tensors[id].Start+delta)
+	}
+	return ev.SetEnd(id, s.Tensors[id].End+delta)
+}
+
+// proposeFullMove applies the identically-drawn operator directly to a
+// schedule clone (the historical stage-2 path).
+func proposeFullMove(s *core.Schedule, rng *rand.Rand) bool {
+	id := rng.Intn(len(s.Tensors))
+	if rng.Intn(2) == 0 {
+		from := -1
+		for p, o := range s.Order {
+			if o == id {
+				from = p
+				break
+			}
+		}
+		return s.MoveTensor(from, rng.Intn(len(s.Order)))
+	}
+	delta := durationJitter(s, rng)
+	t := &s.Tensors[id]
+	if t.Kind.IsLoad() {
+		old := t.Start
+		return s.SetStart(id, t.Start+delta) && s.Tensors[id].Start != old
+	}
+	old := t.End
+	return s.SetEnd(id, t.End+delta) && s.Tensors[id].End != old
+}
+
+// durationJitter draws the stage-2 Living Duration delta (span scales with
+// the schedule length, sign is a coin).
+func durationJitter(s *core.Schedule, rng *rand.Rand) int {
+	span := s.NumTiles() / 16
+	if span < 8 {
+		span = 8
+	}
+	delta := 1 + rng.Intn(span)
+	if rng.Intn(2) == 0 {
+		delta = -delta
+	}
+	return delta
+}
+
+func snapshotTable(snap BenchSnapshot) *report.Table {
+	t := report.New("stage-2 per-move evaluation snapshot", "model", "platform",
+		"tiles", "tensors", "inc ns/move", "full ns/move", "speedup",
+		"allocs inc/full", "resumed", "events", "solve ms")
+	for _, e := range snap.Models {
+		t.Add(e.Model, e.Platform,
+			fmt.Sprintf("%d", e.Tiles), fmt.Sprintf("%d", e.Tensors),
+			fmt.Sprintf("%.0f", e.IncNsPerMove),
+			fmt.Sprintf("%.0f", e.FullNsPerMove),
+			fmt.Sprintf("%.2fx", e.Speedup),
+			fmt.Sprintf("%.0f/%.0f", e.IncAllocsPerMove, e.FullAllocsPerMove),
+			fmt.Sprintf("%.0f%%", 100*e.ResumedFrac),
+			fmt.Sprintf("%.0f%%", 100*e.EventsFrac),
+			fmt.Sprintf("%.0f", e.SolveMS))
+	}
+	return t
+}
+
+// checkSnapshot compares a fresh measurement against the committed snapshot
+// and returns an error describing every regression. The gated quantities are
+// machine-portable: allocs/move is deterministic for a given build, and the
+// incremental-vs-full speedup is a same-machine ratio, so neither depends on
+// how fast the CI runner happens to be. Absolute ns/move is reported but not
+// gated (docs/performance.md discusses the rules).
+func checkSnapshot(fresh BenchSnapshot, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want BenchSnapshot
+	if err := json.Unmarshal(buf, &want); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	base := make(map[string]BenchEntry, len(want.Models))
+	for _, e := range want.Models {
+		base[e.Model] = e
+	}
+
+	var fails []string
+	bestSpeedup := 0.0
+	var logFresh, logBase float64
+	compared := 0
+	for _, e := range fresh.Models {
+		w, ok := base[e.Model]
+		if !ok {
+			continue // model added after the snapshot: nothing to compare
+		}
+		if e.Speedup > bestSpeedup {
+			bestSpeedup = e.Speedup
+		}
+		if e.Speedup > 0 && w.Speedup > 0 {
+			logFresh += math.Log(e.Speedup)
+			logBase += math.Log(w.Speedup)
+			compared++
+		}
+		// >20% allocs/move regression per model (plus one alloc of
+		// absolute slack: the committed counts are small integers, and a
+		// counter artifact must not fail CI on 20% of 2 allocs).
+		// Allocation counts are deterministic, so this gate never flakes.
+		if e.IncAllocsPerMove > w.IncAllocsPerMove*1.2+1 {
+			fails = append(fails, fmt.Sprintf(
+				"%s: incremental allocs/move %.1f exceeds committed %.1f by >20%%",
+				e.Model, e.IncAllocsPerMove, w.IncAllocsPerMove))
+		}
+		if e.FullAllocsPerMove > w.FullAllocsPerMove*1.2+1 {
+			fails = append(fails, fmt.Sprintf(
+				"%s: full allocs/move %.1f exceeds committed %.1f by >20%%",
+				e.Model, e.FullAllocsPerMove, w.FullAllocsPerMove))
+		}
+	}
+	// >20% ns/move regression, measured as the geometric-mean speedup
+	// ratio across the zoo: a hot-path regression slows every model, while
+	// per-model timing noise is independent and averages out (single-model
+	// deviations are +-15% run to run; the geomean holds within a few
+	// percent). Using the same-run incremental-vs-full ratio also keeps
+	// the gate machine-portable - a slow runner cannot fail a healthy
+	// build.
+	if compared > 0 {
+		gmFresh := math.Exp(logFresh / float64(compared))
+		gmBase := math.Exp(logBase / float64(compared))
+		if gmFresh < gmBase*0.8 {
+			fails = append(fails, fmt.Sprintf(
+				"geomean speedup %.2fx is >20%% below committed %.2fx", gmFresh, gmBase))
+		}
+	}
+	// The PR's acceptance floor stays enforced: at least one zoo model must
+	// keep a >=3x incremental speedup.
+	if bestSpeedup < 3 {
+		fails = append(fails, fmt.Sprintf(
+			"no model reaches the 3x incremental speedup floor (best %.2fx)", bestSpeedup))
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "snapshot regression:", f)
+		}
+		return fmt.Errorf("%d snapshot regression(s) vs %s", len(fails), path)
+	}
+	fmt.Printf("snapshot check vs %s: ok (%d models, best speedup %.2fx)\n",
+		path, len(base), bestSpeedup)
+	return nil
+}

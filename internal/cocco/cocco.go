@@ -65,18 +65,6 @@ func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 		iters = e.Par.Stage1MaxIters
 	}
 
-	costEnc := func(enc *core.Encoding) float64 {
-		s, err := core.Parse(e.G, enc)
-		if err != nil {
-			return math.Inf(1)
-		}
-		m, err := sim.Evaluate(s, e.CS, sim.Options{})
-		if err != nil || !m.BufferOK {
-			return math.Inf(1)
-		}
-		return m.Cost(e.Obj.N, e.Obj.M)
-	}
-
 	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: e.Par.Seed}
 	if e.Progress != nil {
 		e.Progress(soma.Progress{Stage: "cocco", Kind: "start", Budget: e.Cfg.GBufBytes})
@@ -84,9 +72,7 @@ func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 			e.Progress(soma.Progress{Stage: "cocco", Kind: "improve", Iter: iter, Cost: cost})
 		}
 	}
-	best, bestCost, stats := sa.RunCtx(ctx, cfg, init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
-		return e.mutate(enc, rng)
-	})
+	best, bestCost, stats := sa.RunMovesCtx[*core.Encoding](ctx, cfg, &coccoMoves{e: e, cur: init})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -106,6 +92,46 @@ func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 	}
 	return &Result{Encoding: best, Schedule: s, Metrics: m,
 		Cost: m.Cost(e.Obj.N, e.Obj.M), Stats: stats}, nil
+}
+
+// coccoMoves is the baseline's sa.MoveState. Every Cocco operator is
+// structural - it changes the Computing Order or the DRAM cut set, which
+// re-derives the tiling and produces a different tile/tensor set - so no
+// incremental delta applies: each proposal parses and fully evaluates a
+// cloned encoding (the move-aware contract's documented fallback), and
+// Accept/Reject just swap or drop the clone.
+type coccoMoves struct {
+	e         *Explorer
+	cur, cand *core.Encoding
+}
+
+func (ms *coccoMoves) InitCost() float64 { return ms.cost(ms.cur) }
+
+func (ms *coccoMoves) Propose(rng *rand.Rand) (float64, bool) {
+	cand, ok := ms.e.mutate(ms.cur, rng)
+	if !ok {
+		return 0, false
+	}
+	ms.cand = cand
+	return ms.cost(cand), true
+}
+
+func (ms *coccoMoves) Accept()                  { ms.cur = ms.cand }
+func (ms *coccoMoves) Reject()                  {}
+func (ms *coccoMoves) Snapshot() *core.Encoding { return ms.cur }
+
+// cost parses and fully evaluates one encoding (+Inf when illegal,
+// deadlocked, or over budget).
+func (ms *coccoMoves) cost(enc *core.Encoding) float64 {
+	s, err := core.Parse(ms.e.G, enc)
+	if err != nil {
+		return math.Inf(1)
+	}
+	m, err := sim.Evaluate(s, ms.e.CS, sim.Options{})
+	if err != nil || !m.BufferOK {
+		return math.Inf(1)
+	}
+	return m.Cost(ms.e.Obj.N, ms.e.Obj.M)
 }
 
 // mutate applies one Cocco operator: move a layer, or toggle a DRAM cut

@@ -102,13 +102,16 @@ func (s *Schedule) MoveTensor(from, to int) bool {
 	// Fast legality: a load may not move before its latest AfterStore; a
 	// store may not move after its earliest dependent load.
 	if to < from && len(t.AfterStores) > 0 {
-		after := make(map[int]bool, len(t.AfterStores))
-		for _, st := range t.AfterStores {
-			after[st] = true
-		}
+		// AfterStores lists are short (a load waits on at most a few
+		// stores), so a direct scan beats building a set: this runs on
+		// every order proposal of the stage-2 hot loop and must not
+		// allocate.
 		for p := to; p < from; p++ {
-			if after[s.Order[p]] {
-				return false
+			cand := s.Order[p]
+			for _, st := range t.AfterStores {
+				if st == cand {
+					return false
+				}
 			}
 		}
 	}

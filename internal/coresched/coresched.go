@@ -59,6 +59,10 @@ type Result struct {
 // results (tiles of the same layer share shapes, so hit rates are high).
 type Scheduler struct {
 	cfg hw.Config
+	// parts holds the (spatial x channel) core partitions of cfg.Cores,
+	// enumerated once: evalPEArray runs on every tile-cost cache miss and
+	// the candidate set depends only on the core count.
+	parts [][2]int
 
 	mu    sync.Mutex
 	cache map[Request]Result
@@ -66,7 +70,7 @@ type Scheduler struct {
 
 // New creates a scheduler for the given hardware.
 func New(cfg hw.Config) *Scheduler {
-	return &Scheduler{cfg: cfg, cache: make(map[Request]Result)}
+	return &Scheduler{cfg: cfg, parts: factorPairs(cfg.Cores), cache: make(map[Request]Result)}
 }
 
 // Config returns the hardware this scheduler models.
@@ -105,9 +109,8 @@ func (s *Scheduler) Evaluate(r Request) Result {
 
 // evalPEArray searches (spatial x channel) core partitions.
 func (s *Scheduler) evalPEArray(r Request) Result {
-	cfg := &s.cfg
 	best := Result{TimeNS: math.Inf(1)}
-	for _, part := range factorPairs(cfg.Cores) {
+	for _, part := range s.parts {
 		cand := s.evalPartition(r, part[0], part[1])
 		if cand.TimeNS < best.TimeNS ||
 			(cand.TimeNS == best.TimeNS && cand.energy() < best.energy()) {

@@ -1,0 +1,205 @@
+package sa
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// MoveState is the move-aware face of an annealing problem. Where the
+// classic Run interface clones the whole state per candidate (neighbor +
+// cost), a MoveState applies one move in place, reports its cost, and then
+// commits or rolls it back depending on the acceptance draw - which is what
+// lets an incremental evaluator (sim.Incremental) splice cached simulation
+// state instead of replaying the schedule per candidate.
+//
+// The contract: Propose applies at most one move and returns its cost;
+// ok=false means the drawn move was unproductive, the state is unchanged,
+// and neither Accept nor Reject will be called. After ok=true, exactly one
+// of Accept/Reject follows before the next Propose. Snapshot captures the
+// current accepted state as a value the annealer may retain across further
+// moves (it is called once at init and on every incumbent improvement).
+type MoveState[S any] interface {
+	// InitCost evaluates the initial state (+Inf marks infeasible).
+	InitCost() float64
+	// Propose applies one candidate move and returns its cost.
+	Propose(rng *rand.Rand) (cost float64, ok bool)
+	// Accept commits the proposed move.
+	Accept()
+	// Reject rolls the proposed move back.
+	Reject()
+	// Snapshot captures the accepted state for best-so-far tracking.
+	Snapshot() S
+}
+
+// RunMoves anneals a MoveState with the paper's acceptance rule and cooling
+// schedule. It is the engine underneath Run/RunCtx: both interfaces draw
+// the same rng sequence under the same Config, so migrating a caller from
+// the clone interface to a MoveState preserves its search trajectory
+// exactly (given the costs are bit-identical).
+func RunMoves[S any](cfg Config, ms MoveState[S]) (S, float64, Stats) {
+	return RunMovesCtx(context.Background(), cfg, ms)
+}
+
+// RunMovesCtx is RunMoves with cooperative cancellation, mirroring RunCtx.
+func RunMovesCtx[S any](ctx context.Context, cfg Config, ms MoveState[S]) (S, float64, Stats) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	curCost := ms.InitCost()
+	best, bestCost := ms.Snapshot(), curCost
+	var st Stats
+
+	var deadline time.Time
+	if cfg.Deadline > 0 {
+		deadline = time.Now().Add(cfg.Deadline)
+	}
+	improveOnly := false
+	post := cfg.PostIters
+
+	for n := 0; n < cfg.Iters; n++ {
+		if n%cancelCheckEvery == 0 && ctx.Err() != nil {
+			break
+		}
+		if !deadline.IsZero() && !improveOnly && n%64 == 0 && time.Now().After(deadline) {
+			improveOnly = true
+		}
+		if improveOnly {
+			if post <= 0 {
+				break
+			}
+			post--
+		}
+		st.Iterations++
+		cc, ok := ms.Propose(rng)
+		if !ok {
+			continue
+		}
+		accept := false
+		switch {
+		case cc <= curCost:
+			accept = true
+		case math.IsInf(curCost, 1):
+			accept = !math.IsInf(cc, 1)
+		case improveOnly || math.IsInf(cc, 1):
+			accept = false
+		default:
+			temp := Temperature(cfg.T0, cfg.Alpha, n, cfg.Iters)
+			if temp > 0 {
+				p := math.Exp((curCost - cc) / (curCost * temp))
+				accept = rng.Float64() < p
+			}
+		}
+		if !accept {
+			ms.Reject()
+			continue
+		}
+		st.Accepted++
+		ms.Accept()
+		curCost = cc
+		if curCost < bestCost {
+			best, bestCost = ms.Snapshot(), curCost
+			st.Improved++
+			st.BestIter = n
+			if cfg.OnImprove != nil {
+				cfg.OnImprove(n, bestCost)
+			}
+		}
+	}
+	return best, bestCost, st
+}
+
+// RunMovesPortfolio runs Chains independently seeded MoveState chains and
+// returns the best state across them, exactly like RunPortfolio for the
+// clone interface. newState builds chain c's private MoveState: move-aware
+// states are stateful by design (they carry spliced evaluator caches), so
+// unlike the clone interface the chains cannot share one state value - each
+// gets its own, and newState must be safe to call from the worker
+// goroutines.
+func RunMovesPortfolio[S any](cfg Config, pf PortfolioConfig,
+	newState func(chain int) MoveState[S]) (S, float64, PortfolioStats) {
+	return RunMovesPortfolioCtx(context.Background(), cfg, pf, newState)
+}
+
+// RunMovesPortfolioCtx is RunMovesPortfolio with cooperative cancellation.
+// The chain seeding, winner selection, and stats aggregation match
+// RunPortfolioCtx, so a fixed Config.Seed yields an identical result for
+// any Workers value (Config.Deadline == 0, as ever).
+func RunMovesPortfolioCtx[S any](ctx context.Context, cfg Config, pf PortfolioConfig,
+	newState func(chain int) MoveState[S]) (S, float64, PortfolioStats) {
+
+	pf = pf.normalized()
+	if pf.Chains == 1 {
+		if pf.OnImprove != nil {
+			cfg.OnImprove = func(iter int, c float64) { pf.OnImprove(0, iter, c) }
+		}
+		best, bestCost, st := RunMovesCtx(ctx, cfg, newState(0))
+		return best, bestCost, PortfolioStats{
+			Total: st, Chains: 1, Workers: 1, PerChain: []Stats{st}}
+	}
+
+	type outcome struct {
+		best S
+		cost float64
+		st   Stats
+	}
+	results := make([]outcome, pf.Chains)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, pf.Workers)
+	for c := 0; c < pf.Chains; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			chainCfg := cfg
+			chainCfg.Seed = cfg.Seed + int64(c)
+			if pf.OnImprove != nil {
+				chainCfg.OnImprove = func(iter int, bc float64) { pf.OnImprove(c, iter, bc) }
+			}
+			best, bc, st := RunMovesCtx(ctx, chainCfg, newState(c))
+			results[c] = outcome{best: best, cost: bc, st: st}
+		}(c)
+	}
+	wg.Wait()
+
+	ps := PortfolioStats{Chains: pf.Chains, Workers: pf.Workers,
+		PerChain: make([]Stats, pf.Chains)}
+	winner := 0
+	for c, r := range results {
+		ps.PerChain[c] = r.st
+		ps.Total.Iterations += r.st.Iterations
+		ps.Total.Accepted += r.st.Accepted
+		ps.Total.Improved += r.st.Improved
+		if r.cost < results[winner].cost {
+			winner = c
+		}
+	}
+	ps.BestChain = winner
+	ps.Total.BestIter = results[winner].st.BestIter
+	return results[winner].best, results[winner].cost, ps
+}
+
+// cloneMoves adapts the classic clone-per-candidate interface (neighbor +
+// cost) to a MoveState. The rng draw sequence is exactly the historical
+// RunCtx loop's: neighbor's draws, then the acceptance draw.
+type cloneMoves[S any] struct {
+	cur, cand S
+	cost      func(S) float64
+	neighbor  func(S, *rand.Rand) (S, bool)
+}
+
+func (m *cloneMoves[S]) InitCost() float64 { return m.cost(m.cur) }
+
+func (m *cloneMoves[S]) Propose(rng *rand.Rand) (float64, bool) {
+	cand, ok := m.neighbor(m.cur, rng)
+	if !ok {
+		return 0, false
+	}
+	m.cand = cand
+	return m.cost(cand), true
+}
+
+func (m *cloneMoves[S]) Accept()     { m.cur = m.cand }
+func (m *cloneMoves[S]) Reject()     {}
+func (m *cloneMoves[S]) Snapshot() S { return m.cur }

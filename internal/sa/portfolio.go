@@ -3,7 +3,6 @@ package sa
 import (
 	"context"
 	"math/rand"
-	"sync"
 )
 
 // PortfolioConfig sizes a portfolio run: Chains independent annealing chains
@@ -79,54 +78,10 @@ func RunPortfolio[S any](cfg Config, pf PortfolioConfig, init S, cost func(S) fl
 func RunPortfolioCtx[S any](ctx context.Context, cfg Config, pf PortfolioConfig, init S,
 	cost func(S) float64, neighbor func(S, *rand.Rand) (S, bool)) (S, float64, PortfolioStats) {
 
-	pf = pf.normalized()
-	if pf.Chains == 1 {
-		if pf.OnImprove != nil {
-			cfg.OnImprove = func(iter int, c float64) { pf.OnImprove(0, iter, c) }
-		}
-		best, bestCost, st := RunCtx(ctx, cfg, init, cost, neighbor)
-		return best, bestCost, PortfolioStats{
-			Total: st, Chains: 1, Workers: 1, PerChain: []Stats{st}}
-	}
-
-	type outcome struct {
-		best S
-		cost float64
-		st   Stats
-	}
-	results := make([]outcome, pf.Chains)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, pf.Workers)
-	for c := 0; c < pf.Chains; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			chainCfg := cfg
-			chainCfg.Seed = cfg.Seed + int64(c)
-			if pf.OnImprove != nil {
-				chainCfg.OnImprove = func(iter int, bc float64) { pf.OnImprove(c, iter, bc) }
-			}
-			best, bc, st := RunCtx(ctx, chainCfg, init, cost, neighbor)
-			results[c] = outcome{best: best, cost: bc, st: st}
-		}(c)
-	}
-	wg.Wait()
-
-	ps := PortfolioStats{Chains: pf.Chains, Workers: pf.Workers,
-		PerChain: make([]Stats, pf.Chains)}
-	winner := 0
-	for c, r := range results {
-		ps.PerChain[c] = r.st
-		ps.Total.Iterations += r.st.Iterations
-		ps.Total.Accepted += r.st.Accepted
-		ps.Total.Improved += r.st.Improved
-		if r.cost < results[winner].cost {
-			winner = c
-		}
-	}
-	ps.BestChain = winner
-	ps.Total.BestIter = results[winner].st.BestIter
-	return results[winner].best, results[winner].cost, ps
+	return RunMovesPortfolioCtx[S](ctx, cfg, pf, func(int) MoveState[S] {
+		// The clone interface's states are value-like, so every chain can
+		// start from the same init value; each adapter instance is still
+		// private to its chain.
+		return &cloneMoves[S]{cur: init, cost: cost, neighbor: neighbor}
+	})
 }

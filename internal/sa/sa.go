@@ -2,7 +2,6 @@ package sa
 
 import (
 	"context"
-	"math"
 	"math/rand"
 	"time"
 )
@@ -70,68 +69,10 @@ const cancelCheckEvery = 32
 // stops within cancelCheckEvery iterations and returns the best state seen so
 // far. Callers that must distinguish a canceled run from a converged one
 // check ctx.Err() after RunCtx returns (the annealer itself never fails).
+//
+// RunCtx is the clone-per-candidate adapter over RunMovesCtx; both draw the
+// same rng sequence under the same Config.
 func RunCtx[S any](ctx context.Context, cfg Config, init S, cost func(S) float64,
 	neighbor func(S, *rand.Rand) (S, bool)) (S, float64, Stats) {
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	cur, curCost := init, cost(init)
-	best, bestCost := cur, curCost
-	var st Stats
-
-	var deadline time.Time
-	if cfg.Deadline > 0 {
-		deadline = time.Now().Add(cfg.Deadline)
-	}
-	improveOnly := false
-	post := cfg.PostIters
-
-	for n := 0; n < cfg.Iters; n++ {
-		if n%cancelCheckEvery == 0 && ctx.Err() != nil {
-			break
-		}
-		if !deadline.IsZero() && !improveOnly && n%64 == 0 && time.Now().After(deadline) {
-			improveOnly = true
-		}
-		if improveOnly {
-			if post <= 0 {
-				break
-			}
-			post--
-		}
-		st.Iterations++
-		cand, ok := neighbor(cur, rng)
-		if !ok {
-			continue
-		}
-		cc := cost(cand)
-		accept := false
-		switch {
-		case cc <= curCost:
-			accept = true
-		case math.IsInf(curCost, 1):
-			accept = !math.IsInf(cc, 1)
-		case improveOnly || math.IsInf(cc, 1):
-			accept = false
-		default:
-			temp := Temperature(cfg.T0, cfg.Alpha, n, cfg.Iters)
-			if temp > 0 {
-				p := math.Exp((curCost - cc) / (curCost * temp))
-				accept = rng.Float64() < p
-			}
-		}
-		if !accept {
-			continue
-		}
-		st.Accepted++
-		cur, curCost = cand, cc
-		if curCost < bestCost {
-			best, bestCost = cur, curCost
-			st.Improved++
-			st.BestIter = n
-			if cfg.OnImprove != nil {
-				cfg.OnImprove(n, bestCost)
-			}
-		}
-	}
-	return best, bestCost, st
+	return RunMovesCtx[S](ctx, cfg, &cloneMoves[S]{cur: init, cost: cost, neighbor: neighbor})
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 
 	"soma/internal/core"
 	"soma/internal/coresched"
@@ -28,7 +29,11 @@ type Cache struct {
 	cur, old map[string]cacheEntry
 	cap      int
 
-	hits, misses, flushes int64
+	// Counters are atomics, not mu-guarded fields: Stats is polled by
+	// observers (somad /v1/stats, progress reporting) while portfolio
+	// workers hammer Memoize, and counting outside the critical section
+	// keeps the stats exact even on the paths that bypass the maps.
+	hits, misses, flushes atomic.Int64
 }
 
 type cacheEntry struct {
@@ -61,10 +66,10 @@ func (c *Cache) gen() int {
 // insert adds an entry to the current generation, rotating generations when
 // it is full. Callers hold c.mu.
 func (c *Cache) insert(key string, e cacheEntry) {
-	if len(c.cur) >= c.gen() {
+	if _, ok := c.cur[key]; !ok && len(c.cur) >= c.gen() {
 		c.old = c.cur
 		c.cur = make(map[string]cacheEntry, c.gen())
-		c.flushes++
+		c.flushes.Add(1)
 	}
 	c.cur[key] = e
 }
@@ -112,13 +117,13 @@ func (c *Cache) Memoize(key string, eval func() (*Metrics, error)) (*Metrics, er
 	}
 	c.mu.Lock()
 	if e, ok := c.lookup(key); ok {
-		c.hits++
 		c.mu.Unlock()
+		c.hits.Add(1)
 		m := e.m
 		return &m, e.err
 	}
-	c.misses++
 	c.mu.Unlock()
+	c.misses.Add(1)
 
 	m, err := eval()
 	e := cacheEntry{err: err}
@@ -126,7 +131,13 @@ func (c *Cache) Memoize(key string, eval func() (*Metrics, error)) (*Metrics, er
 		e.m = *m
 	}
 	c.mu.Lock()
-	c.insert(key, e)
+	// Concurrent workers can miss the same key together (each then runs
+	// its own eval - results are deterministic, so any copy is the right
+	// one). Keep the first insert: re-inserting the same key must not
+	// count toward generation fill or trigger a spurious flush.
+	if _, ok := c.lookup(key); !ok {
+		c.insert(key, e)
+	}
 	c.mu.Unlock()
 	return m, err
 }
@@ -148,7 +159,8 @@ func (c *Cache) Stats() CacheStats {
 		return CacheStats{}
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses,
-		Entries: len(c.cur) + len(c.old), Flushes: c.flushes}
+	entries := len(c.cur) + len(c.old)
+	c.mu.Unlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Entries: entries, Flushes: c.flushes.Load()}
 }

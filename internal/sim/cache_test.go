@@ -216,3 +216,84 @@ func TestCacheScopeSeparatesContexts(t *testing.T) {
 		t.Fatalf("same scope must hit: %+v", st)
 	}
 }
+
+// TestCacheConcurrentSameKeyAccounting hammers a small keyset from many
+// goroutines so several workers miss the same key simultaneously (the
+// portfolio-chain pattern). The counters must account for every single call
+// - hits + misses == calls exactly, no undercounting - and the duplicate
+// inserts of a shared key must not count toward generation fill: with a
+// keyset smaller than one generation, no flush may ever happen.
+func TestCacheConcurrentSameKeyAccounting(t *testing.T) {
+	c := NewCache(64) // gen() == 32 > keys: any flush is a double-insert bug
+	const workers, rounds, keys = 16, 200, 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := Key("k", int64(i%keys))
+				m, err := c.Memoize(key, func() (*Metrics, error) {
+					return &Metrics{LatencyNS: float64(i % keys)}, nil
+				})
+				if err != nil || m.LatencyNS != float64(i%keys) {
+					t.Errorf("worker %d: wrong result %v %v", w, m, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != workers*rounds {
+		t.Fatalf("counters undercount: hits %d + misses %d != %d calls",
+			st.Hits, st.Misses, workers*rounds)
+	}
+	if st.Misses < keys {
+		t.Fatalf("fewer misses (%d) than distinct keys (%d)", st.Misses, keys)
+	}
+	if st.Entries != keys {
+		t.Fatalf("entries = %d, want %d", st.Entries, keys)
+	}
+	if st.Flushes != 0 {
+		t.Fatalf("duplicate concurrent inserts triggered %d flushes", st.Flushes)
+	}
+}
+
+// TestCacheConcurrentRotation rotates generations under concurrency: a
+// capacity far below the keyset forces flushes while workers read stats.
+func TestCacheConcurrentRotation(t *testing.T) {
+	c := NewCache(8)
+	const workers, rounds = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := Key("rot", int64((w*rounds+i)%64))
+				if _, err := c.Memoize(key, func() (*Metrics, error) {
+					return &Metrics{LatencyNS: 1}, nil
+				}); err != nil {
+					t.Errorf("memoize: %v", err)
+					return
+				}
+				if i%32 == 0 {
+					_ = c.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != workers*rounds {
+		t.Fatalf("counters undercount: hits %d + misses %d != %d calls",
+			st.Hits, st.Misses, workers*rounds)
+	}
+	if st.Flushes == 0 {
+		t.Fatal("tiny cache never rotated")
+	}
+	if st.Entries > 8+1 {
+		t.Fatalf("entries %d exceed capacity", st.Entries)
+	}
+}

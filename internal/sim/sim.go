@@ -7,6 +7,7 @@ import (
 
 	"soma/internal/core"
 	"soma/internal/coresched"
+	"soma/internal/hw"
 )
 
 // ErrDeadlock is returned when neither resource can make progress: the
@@ -214,12 +215,28 @@ func Evaluate(s *core.Schedule, cs *coresched.Scheduler, opt Options) (*Metrics,
 		}
 	}
 
+	m := finishMetrics(cfg, s, opt.BufferBudget, s.BufferUsage(), tileDur,
+		coreEnergy, computeBusy, computeFree, dramFree, dramBusy, dramBytes)
+	if opt.Trace {
+		m.TileStart, m.TileEnd = tileStart, tileEnd
+		m.TensorStart, m.TensorEnd = tensorStart, tensorEnd
+	}
+	return m, nil
+}
+
+// finishMetrics folds a completed merge (final resource frontiers, DRAM
+// occupancy) and the schedule's buffer-usage profile into the full metric
+// set. Both Evaluate and the Incremental evaluator feed it identical inputs
+// through identical float operations in the same order, so their Metrics are
+// bit-for-bit equal - the property the differential tests pin down.
+func finishMetrics(cfg hw.Config, s *core.Schedule, budget int64, usage []int64,
+	tileDur []float64, coreEnergy, computeBusy, computeFree, dramFree, dramBusy float64,
+	dramBytes int64) *Metrics {
+
 	latency := maxf(computeFree, dramFree)
-	budget := opt.BufferBudget
 	if budget == 0 {
 		budget = cfg.GBufBytes
 	}
-	usage := s.BufferUsage()
 	var peak int64
 	var weighted float64
 	for seq, u := range usage {
@@ -241,7 +258,7 @@ func Evaluate(s *core.Schedule, cs *coresched.Scheduler, opt Options) (*Metrics,
 	peakRate := cfg.PeakOpsPerNS()
 	theoLat := maxf(computeBusy, dramBusy)
 
-	m := &Metrics{
+	return &Metrics{
 		LatencyNS:          latency,
 		EnergyPJ:           total,
 		CoreEnergyPJ:       coreEnergy,
@@ -258,11 +275,6 @@ func Evaluate(s *core.Schedule, cs *coresched.Scheduler, opt Options) (*Metrics,
 		DRAMUtilization:    dramBusy / latency,
 		ComputeUtilization: computeBusy / latency,
 	}
-	if opt.Trace {
-		m.TileStart, m.TileEnd = tileStart, tileEnd
-		m.TensorStart, m.TensorEnd = tensorStart, tensorEnd
-	}
-	return m, nil
 }
 
 func maxf(a, b float64) float64 {

@@ -18,6 +18,14 @@ import (
 // more (paper rule). Stage 2 may use the whole GBUF: the allocator's budget
 // split only constrains stage 1. Canceling ctx stops the annealer early and
 // returns the incumbent; RunOnce turns that into ctx.Err() for its caller.
+//
+// The stage runs on the move-aware annealer with sim.Incremental underneath:
+// every DLSA operator perturbs the schedule in place, cache misses simulate
+// only the suffix of the schedule the move can affect, and rejected moves
+// roll back without re-simulation. The rng draw sequence, the cache key
+// stream, and the simulated metrics are all identical to the historical
+// clone-and-replay implementation, so fixed-seed results are byte-stable
+// across the switch.
 func (e *Explorer) RunStage2(ctx context.Context, sched *core.Schedule, seed int64) (*core.Schedule, StageResult) {
 	e.notify(Progress{Stage: "stage2", Kind: "start", AllocIter: e.allocIter,
 		Budget: e.Cfg.GBufBytes})
@@ -31,62 +39,110 @@ func (e *Explorer) RunStage2(ctx context.Context, sched *core.Schedule, seed int
 	// and reused across every candidate DLSA; the evaluation cache then
 	// short-circuits revisited DLSA points entirely.
 	tc := sim.PrecomputeTileCosts(sched, e.CS)
-	costS := func(s *core.Schedule) float64 {
-		m, err := e.Cache.Evaluate(s, e.CS, sim.Options{BufferBudget: e.Cfg.GBufBytes,
-			TileCosts: tc, CacheScope: e.Scope})
-		if err != nil || !m.BufferOK {
-			return math.Inf(1)
-		}
-		return m.Cost(e.Obj.N, e.Obj.M)
-	}
 	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed + 7919}
 	pf := e.portfolio()
 	pf.OnImprove = e.improveHook("stage2")
-	best, bestCost, stats := sa.RunPortfolioCtx(ctx, cfg, pf, sched, costS, func(s *core.Schedule, rng *rand.Rand) (*core.Schedule, bool) {
-		c := s.Clone()
-		return c, mutateDLSA(c, picker, rng)
-	})
+	best, bestCost, stats := sa.RunMovesPortfolioCtx[*core.Schedule](ctx, cfg, pf,
+		func(int) sa.MoveState[*core.Schedule] {
+			// Chains perturb their own schedule clone and incremental
+			// evaluator; the tile costs, size picker and evaluation
+			// cache are shared (all safe for concurrent use).
+			return newStage2Moves(e, sched.Clone(), picker, tc)
+		})
 	_, m := e.cost(best, e.Cfg.GBufBytes)
 	e.notify(Progress{Stage: "stage2", Kind: "done", AllocIter: e.allocIter, Cost: bestCost})
 	return best, StageResult{Metrics: m, Cost: bestCost, Stats: stats}
 }
 
-// mutateDLSA applies one random DLSA operator in place.
-func mutateDLSA(s *core.Schedule, picker *sizePicker, rng *rand.Rand) bool {
-	if len(s.Tensors) == 0 {
-		return false
+// stage2Moves is the DLSA search's sa.MoveState: one in-place mutating
+// schedule backed by an incremental evaluator, with every proposal memoized
+// through the explorer's evaluation cache under the exact key the full
+// evaluator would use. A cache hit skips even the suffix re-simulation; a
+// miss runs sim.Incremental.EvaluateProposal as the eval callback.
+type stage2Moves struct {
+	e      *Explorer
+	picker *sizePicker
+	inc    *sim.Incremental
+	budget int64
+}
+
+func newStage2Moves(e *Explorer, s *core.Schedule, picker *sizePicker, tc *sim.TileCosts) *stage2Moves {
+	inc, err := sim.NewIncremental(s, e.CS, sim.Options{
+		BufferBudget: e.Cfg.GBufBytes, TileCosts: tc, CacheScope: e.Scope})
+	if err != nil {
+		// Only reachable on tile-cost/schedule shape mismatch, which a
+		// parse-derived schedule cannot produce.
+		panic("soma: stage-2 incremental evaluator: " + err.Error())
 	}
-	id := picker.pick(rng)
+	return &stage2Moves{e: e, picker: picker, inc: inc, budget: e.Cfg.GBufBytes}
+}
+
+// key is the evaluation-cache key of the live schedule - the same bytes
+// Cache.Evaluate derives, so stage-2 points stay interchangeable with every
+// other cache user (the final winner re-evaluation, the somad daemon).
+func (ms *stage2Moves) key() string {
+	return sim.Key(ms.e.Scope+ms.inc.Schedule().CanonicalKey(), ms.budget)
+}
+
+// objective folds metrics into the annealing cost (+Inf for deadlocked or
+// budget-violating schedules), mirroring Explorer.cost.
+func (ms *stage2Moves) objective(m *sim.Metrics, err error) float64 {
+	if err != nil || !m.BufferOK {
+		return math.Inf(1)
+	}
+	return m.Cost(ms.e.Obj.N, ms.e.Obj.M)
+}
+
+func (ms *stage2Moves) InitCost() float64 {
+	m, err := ms.e.Cache.Memoize(ms.key(), ms.inc.Metrics)
+	return ms.objective(m, err)
+}
+
+// Propose applies one random DLSA operator in place and evaluates it. The
+// operator mix and its rng draw order replicate the historical mutateDLSA
+// exactly (picker draw, operator coin, then the operator's own draws).
+func (ms *stage2Moves) Propose(rng *rand.Rand) (float64, bool) {
+	s := ms.inc.Schedule()
+	if len(s.Tensors) == 0 {
+		return 0, false
+	}
+	id := ms.picker.pick(rng)
 	t := &s.Tensors[id]
+	ok := false
 	if rng.Intn(2) == 0 {
 		// Change DRAM Tensor Order: move the tensor elsewhere.
-		from := -1
-		for p, o := range s.Order {
-			if o == id {
-				from = p
-				break
-			}
+		ok = ms.inc.MoveTensor(ms.inc.PosOf(id), rng.Intn(len(s.Order)))
+	} else {
+		// Change Living Duration: jitter Start (loads) or End (stores).
+		// The jitter span scales with the schedule length so prefetches
+		// can reach far-away DRAM-idle windows on large tile sequences.
+		span := s.NumTiles() / 16
+		if span < 8 {
+			span = 8
 		}
-		return s.MoveTensor(from, rng.Intn(len(s.Order)))
+		delta := 1 + rng.Intn(span)
+		if rng.Intn(2) == 0 {
+			delta = -delta
+		}
+		if t.Kind.IsLoad() {
+			ok = ms.inc.SetStart(id, t.Start+delta)
+		} else {
+			ok = ms.inc.SetEnd(id, t.End+delta)
+		}
 	}
-	// Change Living Duration: jitter Start (loads) or End (stores). The
-	// jitter span scales with the schedule length so prefetches can reach
-	// far-away DRAM-idle windows on large tile sequences.
-	span := s.NumTiles() / 16
-	if span < 8 {
-		span = 8
+	if !ok {
+		return 0, false
 	}
-	delta := 1 + rng.Intn(span)
-	if rng.Intn(2) == 0 {
-		delta = -delta
-	}
-	if t.Kind.IsLoad() {
-		old := t.Start
-		return s.SetStart(id, t.Start+delta) && s.Tensors[id].Start != old
-	}
-	old := t.End
-	return s.SetEnd(id, t.End+delta) && s.Tensors[id].End != old
+	m, err := ms.e.Cache.Memoize(ms.key(), ms.inc.EvaluateProposal)
+	return ms.objective(m, err), true
 }
+
+func (ms *stage2Moves) Accept() { ms.inc.Accept() }
+func (ms *stage2Moves) Reject() { ms.inc.Reject() }
+
+// Snapshot clones the live schedule: the annealer retains it as the
+// incumbent while the state keeps mutating.
+func (ms *stage2Moves) Snapshot() *core.Schedule { return ms.inc.Schedule().Clone() }
 
 // sizePicker samples tensor IDs proportionally to their byte size.
 type sizePicker struct {

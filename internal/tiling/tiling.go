@@ -174,7 +174,14 @@ func New(g *graph.Graph, layers []graph.LayerID, t int) (*Plan, error) {
 	sp := ChooseSplit(t, bound)
 	tiles := sp.Tiles()
 
-	pos := make(map[graph.LayerID]int, len(layers))
+	// pos[id] is the FLG-local index of layer id, -1 for layers outside the
+	// FLG. A dense slice keyed by LayerID instead of a map: New runs on
+	// every structural proposal (each parse re-tiles each FLG), and map
+	// bucket churn dominated its allocation profile.
+	pos := make([]int, len(g.Layers))
+	for i := range pos {
+		pos[i] = -1
+	}
 	for i, id := range layers {
 		pos[id] = i
 	}
@@ -183,7 +190,7 @@ func New(g *graph.Graph, layers []graph.LayerID, t int) (*Plan, error) {
 	if sp.TH*sp.TW > 1 {
 		for _, id := range layers {
 			for _, d := range g.Layer(id).Deps {
-				if _, in := pos[d.Producer]; in && d.Global {
+				if pos[d.Producer] >= 0 && d.Global {
 					return nil, fmt.Errorf("tiling: global dependency %s->%s inside spatially-split FLG (%dx%d)",
 						g.Layer(d.Producer).Name, g.Layer(id).Name, sp.TH, sp.TW)
 				}
@@ -196,7 +203,7 @@ func New(g *graph.Graph, layers []graph.LayerID, t int) (*Plan, error) {
 	if tiles > 1 {
 		for _, id := range layers {
 			for _, a := range g.Layer(id).After {
-				if _, in := pos[a]; in {
+				if pos[a] >= 0 {
 					return nil, fmt.Errorf("tiling: barrier %s->%s inside multi-tile FLG (%d tiles)",
 						g.Layer(a).Name, g.Layer(id).Name, tiles)
 				}
@@ -236,8 +243,8 @@ func New(g *graph.Graph, layers []graph.LayerID, t int) (*Plan, error) {
 		for ti := 0; ti < tiles; ti++ {
 			r := p.Owned[i][ti]
 			for _, cid := range g.Consumers(id) {
-				ci, in := pos[cid]
-				if !in || ci <= i {
+				ci := pos[cid]
+				if ci <= i { // outside the FLG (-1) or not a later layer
 					continue
 				}
 				c := g.Layer(cid)
