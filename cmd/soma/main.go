@@ -14,6 +14,8 @@
 //	soma -scenario multi-tenant-cnn -json
 //	soma -scenario my_mix.json -profile fast
 //	soma -sweep grid.json -journal grid.jsonl -progress
+//	soma -model resnet50 -telemetry            # search metrics on stderr
+//	soma -sweep grid.json -trace-out grid.json # Perfetto trace of the sweep
 //	soma -list
 package main
 
@@ -30,6 +32,7 @@ import (
 	"soma/internal/exp"
 	"soma/internal/isa"
 	"soma/internal/models"
+	"soma/internal/obs"
 	"soma/internal/report"
 	"soma/internal/sim"
 	"soma/internal/soma"
@@ -59,6 +62,8 @@ func main() {
 	scenario := flag.String("scenario", "", "schedule a multi-model scenario: a built-in name (see -list) or a JSON spec file")
 	sweep := flag.String("sweep", "", "run a design-space exploration grid from a JSON sweep spec file (docs/dse.md)")
 	journal := flag.String("journal", "", "sweep checkpoint file (JSONL); an interrupted sweep resumes from its committed prefix")
+	telemetry := flag.Bool("telemetry", false, "dump search metrics in Prometheus text format to stderr after the run (docs/observability.md)")
+	traceOut := flag.String("trace-out", "", "write the solve's span trace to this file as Chrome trace-event JSON (load at ui.perfetto.dev)")
 	list := flag.Bool("list", false, "list registered models, platforms and built-in scenarios, then exit")
 	flag.Parse()
 
@@ -96,6 +101,12 @@ func main() {
 	if *progress {
 		hooks = &engine.Hooks{Event: printProgress}
 	}
+	// The obs bundle observes only (byte-identical results with or without
+	// it), so it rides along on every flow: single model, scenario, sweep.
+	var o *obs.Obs
+	if *telemetry || *traceOut != "" {
+		o = obs.New()
+	}
 
 	if *sweep != "" {
 		// A sweep spec declares its own axes and search parameters; the
@@ -103,12 +114,13 @@ func main() {
 		// any that were set explicitly.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "sweep", "journal", "json", "progress":
+			case "sweep", "journal", "json", "progress", "telemetry", "trace-out":
 			default:
 				fatal(fmt.Errorf("-sweep specs declare their own axes and parameters; -%s is not allowed", f.Name))
 			}
 		})
-		runSweep(*sweep, *journal, *jsonOut, hooks)
+		runSweep(*sweep, *journal, *jsonOut, hooks, o)
+		flushObs(o, *telemetry, *traceOut)
 		return
 	}
 	if *journal != "" {
@@ -131,7 +143,8 @@ func main() {
 		case *showTrace || *irOut != "":
 			fatal(fmt.Errorf("-trace and -ir are not supported with -scenario"))
 		}
-		runScenario(*scenario, *hwName, obj, par, *jsonOut, hooks)
+		runScenario(*scenario, *hwName, obj, par, *jsonOut, hooks, o)
+		flushObs(o, *telemetry, *traceOut)
 		return
 	}
 
@@ -146,6 +159,7 @@ func main() {
 		Platform:  *hwName,
 		Objective: obj,
 		Params:    par,
+		Obs:       o,
 	}
 	if *dram > 0 || *buf > 0 {
 		req.Config = &cfg
@@ -219,6 +233,33 @@ func main() {
 				prog.Counts()[isa.Compute], *irOut)
 		}
 	}
+	flushObs(o, *telemetry, *traceOut)
+}
+
+// flushObs emits the collected observability artifacts after a run: the
+// metrics registry as Prometheus text on stderr (-telemetry) and the span
+// trace as Chrome trace-event JSON (-trace-out). No-op when the bundle is
+// nil (neither flag set).
+func flushObs(o *obs.Obs, telemetry bool, traceOut string) {
+	if o == nil {
+		return
+	}
+	if telemetry {
+		fmt.Fprintln(os.Stderr, "# search telemetry (Prometheus text format)")
+		if err := o.Reg.WritePrometheus(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := o.Tracer.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // resolveScenario turns the -scenario argument into a Scenario: a path to a
@@ -238,13 +279,13 @@ func resolveScenario(arg string) (workload.Scenario, error) {
 // runScenario is the -scenario flow: compose, schedule, and report. The JSON
 // payload is the exact one the somad jobs API serves for the same request
 // (both route through engine.Run).
-func runScenario(arg, hwName string, obj soma.Objective, par soma.Params, jsonOut bool, hooks *engine.Hooks) {
+func runScenario(arg, hwName string, obj soma.Objective, par soma.Params, jsonOut bool, hooks *engine.Hooks, o *obs.Obs) {
 	sc, err := resolveScenario(arg)
 	if err != nil {
 		fatal(err)
 	}
 	res, err := engine.Run(context.Background(), engine.Request{
-		Scenario: &sc, Platform: hwName, Objective: obj, Params: par}, hooks)
+		Scenario: &sc, Platform: hwName, Objective: obj, Params: par, Obs: o}, hooks)
 	if err != nil {
 		fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"soma/internal/dse"
 	"soma/internal/engine"
+	"soma/internal/obs"
 	"soma/internal/report"
 )
 
@@ -15,7 +16,7 @@ import (
 // automatically from a committed prefix), and report the rows plus the
 // sweep-level aggregates. The JSONL journal is the canonical byte-comparable
 // artifact - identical for any worker count and across interruptions.
-func runSweep(path, journal string, jsonOut bool, hooks *engine.Hooks) {
+func runSweep(path, journal string, jsonOut bool, hooks *engine.Hooks, o *obs.Obs) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -24,7 +25,7 @@ func runSweep(path, journal string, jsonOut bool, hooks *engine.Hooks) {
 	if err != nil {
 		fatal(err)
 	}
-	out, err := dse.Run(context.Background(), sw, dse.Options{Journal: journal, Hooks: hooks})
+	out, err := dse.Run(context.Background(), sw, dse.Options{Journal: journal, Hooks: hooks, Obs: o})
 	if err != nil {
 		fatal(err)
 	}

@@ -20,6 +20,14 @@
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -s localhost:8080/v1/sweeps/sweep-000002
 //	curl -sN localhost:8080/v1/sweeps/sweep-000002/events
+//	curl -s localhost:8080/metrics                       # Prometheus exposition
+//	curl -s localhost:8080/v1/jobs/job-000001/trace      # Perfetto trace JSON
+//	go tool pprof localhost:8080/debug/pprof/profile     # CPU profile
+//
+// Observability (docs/observability.md): /metrics serves the search and
+// service counters in Prometheus text format, each job serves its solve
+// trace as Chrome trace-event JSON, and the stdlib pprof/expvar handlers
+// are mounted under /debug/.
 package main
 
 import (

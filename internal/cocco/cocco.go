@@ -16,6 +16,7 @@ import (
 	"soma/internal/coresched"
 	"soma/internal/graph"
 	"soma/internal/hw"
+	"soma/internal/obs"
 	"soma/internal/sa"
 	"soma/internal/sim"
 	"soma/internal/soma"
@@ -42,6 +43,12 @@ type Explorer struct {
 	// improvement, and a done event). It observes the search only and
 	// never changes the result.
 	Progress func(soma.Progress)
+	// Reg, when non-nil, receives the annealer's move counters under the
+	// "cocco" stage label; Track, when non-nil, is the trace track the
+	// search span and best-cost samples land on. Observation only, like
+	// Progress.
+	Reg   *obs.Registry
+	Track *obs.Track
 }
 
 // New builds a baseline explorer; Params.Beta1 scales its iteration budget
@@ -65,14 +72,22 @@ func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 		iters = e.Par.Stage1MaxIters
 	}
 
-	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: e.Par.Seed}
-	if e.Progress != nil {
-		e.Progress(soma.Progress{Stage: "cocco", Kind: "start", Budget: e.Cfg.GBufBytes})
+	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: e.Par.Seed,
+		Telemetry: sa.NewTelemetry(e.Reg, "cocco")}
+	if e.Progress != nil || e.Track != nil {
+		if e.Progress != nil {
+			e.Progress(soma.Progress{Stage: "cocco", Kind: "start", Budget: e.Cfg.GBufBytes})
+		}
 		cfg.OnImprove = func(iter int, cost float64) {
-			e.Progress(soma.Progress{Stage: "cocco", Kind: "improve", Iter: iter, Cost: cost})
+			if e.Progress != nil {
+				e.Progress(soma.Progress{Stage: "cocco", Kind: "improve", Iter: iter, Cost: cost})
+			}
+			e.Track.Counter("best_cost/cocco", cost)
 		}
 	}
+	span := e.Track.Start("cocco", "cocco").Arg("iters", iters)
 	best, bestCost, stats := sa.RunMovesCtx[*core.Encoding](ctx, cfg, &coccoMoves{e: e, cur: init})
+	span.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -425,9 +425,13 @@ func scrubResult(res *report.Result) *report.Result {
 	}
 	out := *res
 	out.Raw = nil
+	// Telemetry is wall-clock (observability runs only) - as
+	// interleaving-dependent as the cache counters, so it never persists.
+	out.Telemetry = nil
 	if res.Search != nil {
 		s := *res.Search
 		s.CacheHits, s.CacheMisses, s.CacheEntries, s.CacheGenerations = 0, 0, 0, 0
+		s.CacheHitRate = 0
 		out.Search = &s
 	}
 	if res.Scenario != nil {

@@ -3,11 +3,14 @@ package dse
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"soma/internal/engine"
+	"soma/internal/obs"
 	"soma/internal/sim"
 	"soma/internal/soma"
 )
@@ -33,6 +36,13 @@ type Options struct {
 	// points are loaded instead of recomputed and the run continues after
 	// them; the finished file is byte-identical to an uninterrupted run's.
 	Journal string
+	// Obs, when non-nil, receives sweep telemetry (dse_points_total,
+	// dse_point_seconds, dse_queue_wait_seconds plus everything the engine
+	// and solvers emit) and per-point trace spans, each point on its own
+	// track so concurrent points render as parallel timelines. Pure
+	// pass-through: rows and journals are byte-identical with or without
+	// it (Row.Scrubbed drops the wall-clock Telemetry section).
+	Obs *obs.Obs
 }
 
 // Outcome is a completed (or resumed-and-completed) sweep: every grid row
@@ -162,6 +172,10 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
 		}
 	}
 
+	reg := opt.Obs.Registry()
+	queueWait := reg.Histogram("dse_queue_wait_seconds",
+		"Time sweep points wait for a worker slot.")
+
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for i := start; i < len(pts); i++ {
@@ -171,12 +185,14 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			enqueued := time.Now()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			queueWait.Observe(time.Since(enqueued).Seconds())
 			if ctx.Err() != nil {
 				return
 			}
-			out.Rows[i] = runPoint(ctx, pts[i], par, cache, opt.Hooks)
+			out.Rows[i] = runPoint(ctx, pts[i], par, cache, opt.Hooks, opt.Obs)
 			// Commit completed rows even if cancellation raced in right
 			// after the solve finished - the journal keeps every point
 			// that was actually paid for. Aborted points (neither result
@@ -216,22 +232,35 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
 // runPoint solves one grid cell. Engine failures other than cancellation
 // become error rows - an infeasible (buffer, bandwidth) corner is data, not
 // a reason to abort the grid.
-func runPoint(ctx context.Context, p Point, par soma.Params, cache *sim.Cache, h *engine.Hooks) Row {
+func runPoint(ctx context.Context, p Point, par soma.Params, cache *sim.Cache,
+	h *engine.Hooks, o *obs.Obs) Row {
 	h.Emit(engine.Event{Kind: "point-start", Component: p.Label(), Iter: p.Index})
+	reg := o.Registry()
+	start := time.Now()
 	row := Row{Point: p}
 	req, err := p.Request(par)
 	if err == nil {
 		req.Cache = cache
+		req.Obs = o
+		// Concurrent points must not share a trace track: each gets its own
+		// row in the viewer, named by grid position.
+		req.TraceTrack = fmt.Sprintf("point-%03d %s", p.Index, p.Label())
 		row.Result, err = engine.Run(ctx, req, nil)
 	}
+	reg.Histogram("dse_point_seconds",
+		"Wall time of one sweep point solve.").Observe(time.Since(start).Seconds())
 	if err != nil {
 		if ctx.Err() != nil {
 			return row // aborted: never committed
 		}
 		row.Err = err.Error()
+		reg.Counter("dse_points_total", "Sweep points by outcome.",
+			"outcome", "error").Inc()
 		h.Emit(engine.Event{Kind: "point-error", Component: p.Label(), Iter: p.Index, Err: row.Err})
 		return row
 	}
+	reg.Counter("dse_points_total", "Sweep points by outcome.",
+		"outcome", "ok").Inc()
 	h.Emit(engine.Event{Kind: "point-done", Component: p.Label(), Iter: p.Index, Cost: row.Result.Cost})
 	return row
 }

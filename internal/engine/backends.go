@@ -6,6 +6,7 @@ import (
 	"soma/internal/cocco"
 	"soma/internal/graph"
 	"soma/internal/hw"
+	"soma/internal/obs"
 	"soma/internal/report"
 	"soma/internal/sim"
 	"soma/internal/soma"
@@ -33,7 +34,7 @@ func (somaBackend) Solve(ctx context.Context, req Request, h *Hooks) (*report.Re
 	return solveSoma(ctx, solveInputs{
 		g: g, cfg: cfg, spec: req.spec(), obj: req.Objective, par: req.Params,
 		cache: req.Cache, scope: req.cacheScope(),
-		hooks: h,
+		hooks: h, obs: req.Obs, track: req.track(),
 	})
 }
 
@@ -52,6 +53,10 @@ type solveInputs struct {
 	hooks *Hooks
 	// component tags streamed events for scenario sub-runs.
 	component string
+	// obs/track carry the request's observability bundle and trace track
+	// down to the solver (both may be nil).
+	obs   *obs.Obs
+	track *obs.Track
 }
 
 // solveSoma runs one soma exploration and assembles its payload. This is the
@@ -65,7 +70,15 @@ func solveSoma(ctx context.Context, in solveInputs) (*report.Result, error) {
 		ex.Scope = in.scope
 	}
 	ex.Progress = progressTap(in.hooks, "soma", in.component, ex.Cache)
+	ex.Reg = in.obs.Registry()
+	ex.Track = in.track
+	var span *obs.Span
+	if in.component != "" {
+		// Scenario sub-runs nest their stage spans under a component span.
+		span = in.track.Start("component:"+in.component, "scenario")
+	}
 	res, err := ex.RunContext(ctx)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -97,6 +110,8 @@ func (coccoBackend) Solve(ctx context.Context, req Request, h *Hooks) (*report.R
 	// Cocco evaluates uncached (its single annealing chain rarely revisits
 	// states), so a shared Request.Cache has nothing to scope here.
 	ex.Progress = progressTap(h, "cocco", "", nil)
+	ex.Reg = req.Obs.Registry()
+	ex.Track = req.track()
 	res, err := ex.RunContext(ctx)
 	if err != nil {
 		return nil, err

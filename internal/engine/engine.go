@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"soma/internal/graph"
 	"soma/internal/hw"
 	"soma/internal/models"
+	"soma/internal/obs"
 	"soma/internal/report"
 	"soma/internal/sim"
 	"soma/internal/soma"
@@ -56,6 +58,18 @@ type Request struct {
 	// never collide; nil gives the run a private cache. Sharing only
 	// changes lookup cost, never the result.
 	Cache *sim.Cache
+	// Obs optionally attaches an observability bundle: the registry
+	// receives engine solve counters/latency plus the solver layers'
+	// telemetry (soma_sa_*, sim_inc_*, sim_eval_cache_*), and the tracer
+	// records stage/component spans. Pure pass-through: fixed-seed results
+	// are byte-identical with Obs set or nil, except that successful runs
+	// additionally carry a Result.Telemetry section (wall times).
+	Obs *obs.Obs
+	// TraceTrack overrides the trace track name this request's spans land
+	// on ("" derives "<backend> <workload>"). Concurrent runs sharing one
+	// tracer (dse sweep points) must use distinct tracks, since spans
+	// within a track render as one nested timeline.
+	TraceTrack string
 }
 
 // normalized fills Request defaults in place.
@@ -126,6 +140,21 @@ func (r Request) cacheScope() string {
 		scope += fmt.Sprintf("g:%p|", r.Graph)
 	}
 	return scope
+}
+
+// track resolves the trace track this request's spans land on. Callers pass
+// a normalized request; nil-safe (a request without Obs gets a nil track,
+// whose methods are no-ops).
+func (r Request) track() *obs.Track {
+	name := r.TraceTrack
+	if name == "" {
+		label := r.Model
+		if r.Scenario != nil {
+			label = ScenarioModelName(r.Scenario.Name)
+		}
+		name = r.Backend + " " + label
+	}
+	return r.Obs.Trace().Track(name)
 }
 
 // Backend is one pluggable solver. Solve runs the search described by the
@@ -232,15 +261,38 @@ func Run(ctx context.Context, req Request, h *Hooks) (*report.Result, error) {
 		}
 	}
 	h.Emit(Event{Kind: "start", Backend: req.Backend})
+	reg := req.Obs.Registry()
+	span := req.track().Start("solve", "engine").
+		Arg("backend", req.Backend).Arg("model", req.Model)
+	start := time.Now()
 	var res *report.Result
 	if req.Scenario != nil {
 		res, err = solveScenario(ctx, req, h)
 	} else {
 		res, err = b.Solve(ctx, req, h)
 	}
+	wall := time.Since(start)
+	reg.Histogram("engine_solve_seconds",
+		"Wall time of one engine solve.", "backend", req.Backend).Observe(wall.Seconds())
 	if err != nil {
+		reg.Counter("engine_solves_total",
+			"Engine solves by backend and outcome.",
+			"backend", req.Backend, "outcome", "error").Inc()
+		span.Arg("error", err.Error()).End()
 		h.Emit(Event{Kind: "error", Backend: req.Backend, Err: err.Error()})
 		return nil, err
+	}
+	reg.Counter("engine_solves_total",
+		"Engine solves by backend and outcome.",
+		"backend", req.Backend, "outcome", "ok").Inc()
+	span.Arg("cost", res.Cost).End()
+	if req.Obs != nil {
+		t := &report.Telemetry{SolveWallMS: float64(wall.Nanoseconds()) / 1e6}
+		if res.Raw != nil {
+			t.Stage1WallMS = float64(res.Raw.Stage1WallNS) / 1e6
+			t.Stage2WallMS = float64(res.Raw.Stage2WallNS) / 1e6
+		}
+		res.Telemetry = t
 	}
 	h.Emit(Event{Kind: "done", Backend: req.Backend, Cost: res.Cost})
 	return res, nil

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"soma/internal/hw"
+	"soma/internal/obs"
 	"soma/internal/sim"
 	"soma/internal/soma"
 	"soma/internal/workload"
@@ -195,6 +196,62 @@ func TestHooksDoNotPerturbResult(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Error("hooks changed the result payload")
+	}
+}
+
+// TestTelemetryDoesNotPerturbResult mirrors TestHooksDoNotPerturbResult for
+// the observability layer: a run with a full obs bundle attached must be
+// byte-identical to the bare run once the (intentionally obs-only,
+// wall-clock) Telemetry section is stripped - and the bundle must actually
+// have observed the search.
+func TestTelemetryDoesNotPerturbResult(t *testing.T) {
+	req := Request{Model: "mobilenetv2", Platform: "edge", Params: fastPar(11)}
+	plain, err := Run(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	req.Obs = o
+	observed, err := Run(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Telemetry == nil || observed.Telemetry.SolveWallMS <= 0 {
+		t.Fatal("observed run carries no Telemetry section")
+	}
+	observed.Telemetry = nil
+	var a, b bytes.Buffer
+	if err := plain.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := observed.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("telemetry changed the result payload")
+	}
+
+	// The registry must hold populated sa/sim/engine families...
+	if o.Reg.Counter("soma_sa_moves_proposed_total", "", "stage", "stage1").Value() <= 0 {
+		t.Error("counter soma_sa_moves_proposed_total{stage=stage1} not populated")
+	}
+	for _, name := range []string{"sim_inc_proposals_total", "soma_alloc_iters_total"} {
+		if o.Reg.Counter(name, "").Value() <= 0 {
+			t.Errorf("counter %s not populated", name)
+		}
+	}
+	if o.Reg.Counter("engine_solves_total", "", "backend", "soma", "outcome", "ok").Value() != 1 {
+		t.Error("engine_solves_total{soma,ok} != 1")
+	}
+	// ...and the tracer must hold stage spans on the solve track.
+	var trace bytes.Buffer
+	if err := o.Tracer.WriteJSON(&trace); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"solve"`, `"stage1"`, `"stage2"`, "best_cost/stage1"} {
+		if !strings.Contains(trace.String(), want) {
+			t.Errorf("trace missing %s", want)
+		}
 	}
 }
 

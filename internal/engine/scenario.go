@@ -51,7 +51,7 @@ func solveScenario(ctx context.Context, req Request, h *Hooks) (*report.Result, 
 	payload, err := solveSoma(ctx, solveInputs{
 		g: g, cfg: cfg, spec: spec, obj: req.Objective, par: req.Params,
 		cache: cache, scope: fmt.Sprintf("scn:%s|%s|composed|", digest, req.Platform),
-		hooks: h, component: "composed",
+		hooks: h, component: "composed", obs: req.Obs, track: req.track(),
 	})
 	if err != nil {
 		return nil, err
@@ -69,7 +69,7 @@ func solveScenario(ctx context.Context, req Request, h *Hooks) (*report.Result, 
 		ires, err := solveSoma(ctx, solveInputs{
 			g: span.Graph, cfg: cfg, spec: ispec, obj: req.Objective, par: req.Params,
 			cache: cache, scope: cacheScope(c.Model, c.Batch, req.Platform),
-			hooks: h, component: c.Name,
+			hooks: h, component: c.Name, obs: req.Obs, track: req.track(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("engine: scenario %s: isolated %s: %w", sc.Name, c.Name, err)

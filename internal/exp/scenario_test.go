@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"soma/internal/models"
+	"soma/internal/report"
 	"soma/internal/soma"
 	"soma/internal/workload"
 )
@@ -65,11 +66,18 @@ func TestRunScenarioAggregates(t *testing.T) {
 // TestRunScenarioDeterministicAcrossWorkers: a fixed-seed scenario run is a
 // pure function of (spec, platform, params) - varying the portfolio worker
 // count or re-running must return byte-identical payloads, up to the
-// reporting-only search.workers echo (which records the worker count itself).
+// reporting-only search.workers echo (which records the worker count itself)
+// and the cache counters (which, like dse journal rows document, depend on
+// how concurrent chains interleave their shared-cache lookups).
 func TestRunScenarioDeterministicAcrossWorkers(t *testing.T) {
 	sc, err := workload.Builtin("multi-tenant-cnn")
 	if err != nil {
 		t.Fatal(err)
+	}
+	scrub := func(s *report.Search) {
+		s.Workers = 0
+		s.CacheHits, s.CacheMisses, s.CacheEntries, s.CacheGenerations = 0, 0, 0, 0
+		s.CacheHitRate = 0
 	}
 	render := func(chains, workers int) []byte {
 		par := scenarioPar()
@@ -79,9 +87,9 @@ func TestRunScenarioDeterministicAcrossWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res.Search.Workers = 0
+		scrub(res.Search)
 		for i := range res.Scenario.Components {
-			res.Scenario.Components[i].Isolated.Search.Workers = 0
+			scrub(res.Scenario.Components[i].Isolated.Search)
 		}
 		var buf bytes.Buffer
 		if err := res.WriteJSON(&buf); err != nil {

@@ -1,0 +1,18 @@
+// Package obs is the repo's zero-dependency observability layer: a
+// concurrency-safe metrics registry with Prometheus text exposition, and a
+// span tracer emitting Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing).
+//
+// The package imports nothing outside the standard library, so every layer
+// of the stack - the annealer (internal/sa), the simulator and its caches
+// (internal/sim), the solvers (internal/soma, internal/cocco), the engine,
+// the sweep runner (internal/dse) and the daemon (internal/service) - can
+// depend on it without cycles.
+//
+// Everything is hooks-style pass-through: a nil *Registry hands out nil
+// instruments, and every instrument method is a no-op on a nil receiver, so
+// instrumented code calls Counter.Add / Span.End unconditionally and pays
+// nothing when observability is off. Instruments observe only - they never
+// influence a search - so fixed-seed results are byte-identical with
+// telemetry on or off.
+package obs

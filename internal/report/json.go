@@ -43,6 +43,12 @@ type Result struct {
 	// single-model runs): per-component ownership, isolated per-model
 	// results, and the composed-vs-isolated aggregate comparison.
 	Scenario *ScenarioInfo `json:"scenario,omitempty"`
+	// Telemetry carries wall-clock measurements, present only when the run
+	// had observability enabled (engine Request.Obs). Wall times are
+	// nondeterministic, so keeping the section out of plain runs preserves
+	// byte-identical fixed-seed payloads; consumers comparing results
+	// across runs should ignore it.
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
 
 	// Raw carries the in-memory artifacts behind the payload for callers
 	// that need more than JSON - trace rendering, ISA lowering, the exp
@@ -60,6 +66,23 @@ type Raw struct {
 	// Stage1Metrics is the double-buffer DLSA result of the winning LFA
 	// (soma runs only; nil for cocco).
 	Stage1Metrics *sim.Metrics
+	// Stage1WallNS/Stage2WallNS are per-stage wall times (soma runs only).
+	// They live here rather than in the serialized payload because wall
+	// time is nondeterministic; engine.Run folds them into
+	// Result.Telemetry when observability is on.
+	Stage1WallNS, Stage2WallNS int64
+}
+
+// Telemetry is the observability section of a Result: wall-clock spend per
+// solve and per stage. Populated by engine.Run only when the request
+// carries an obs bundle.
+type Telemetry struct {
+	// SolveWallMS is the whole solve's wall time as seen by the engine.
+	SolveWallMS float64 `json:"solve_wall_ms"`
+	// Stage1WallMS/Stage2WallMS split the soma exploration's annealing
+	// time across the allocator loop (zero for cocco).
+	Stage1WallMS float64 `json:"stage1_wall_ms,omitempty"`
+	Stage2WallMS float64 `json:"stage2_wall_ms,omitempty"`
 }
 
 // ScenarioInfo is the scenario section of a composed run's payload.
@@ -158,6 +181,10 @@ type Search struct {
 	CacheMisses      int64   `json:"cache_misses"`
 	CacheEntries     int     `json:"cache_entries"`
 	CacheGenerations int64   `json:"cache_generations"`
+	// CacheHitRate is CacheHits / (CacheHits + CacheMisses), precomputed
+	// so -json consumers need not derive it (0 when the cache was unused).
+	// Deterministic for a fixed seed, like the counters it is built from.
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 // Spec names one run for the payload header; the service fills it from the
@@ -233,8 +260,12 @@ func FromSoma(spec Spec, cfg hw.Config, res *soma.Result) *Result {
 		CacheEntries:     res.Cache.Entries,
 		CacheGenerations: res.Cache.Flushes,
 	}
+	if total := res.Cache.Hits + res.Cache.Misses; total > 0 {
+		r.Search.CacheHitRate = float64(res.Cache.Hits) / float64(total)
+	}
 	r.Raw = &Raw{Encoding: res.Encoding, Schedule: res.Schedule,
-		Metrics: res.Stage2.Metrics, Stage1Metrics: res.Stage1.Metrics}
+		Metrics: res.Stage2.Metrics, Stage1Metrics: res.Stage1.Metrics,
+		Stage1WallNS: res.Stage1WallNS, Stage2WallNS: res.Stage2WallNS}
 	return &r
 }
 

@@ -91,6 +91,7 @@ func RunMovesCtx[S any](ctx context.Context, cfg Config, ms MoveState[S]) (S, fl
 			}
 		}
 		if !accept {
+			st.Rejected++
 			ms.Reject()
 			continue
 		}
@@ -104,7 +105,18 @@ func RunMovesCtx[S any](ctx context.Context, cfg Config, ms MoveState[S]) (S, fl
 			if cfg.OnImprove != nil {
 				cfg.OnImprove(n, bestCost)
 			}
+			if tel := cfg.Telemetry; tel != nil {
+				tel.BestCost.Set(bestCost)
+				tel.Temp.Set(Temperature(cfg.T0, cfg.Alpha, n, cfg.Iters))
+			}
 		}
+	}
+	if tel := cfg.Telemetry; tel != nil {
+		// Bulk-add once per chain so the hot loop pays no atomics.
+		tel.Proposed.Add(int64(st.Iterations))
+		tel.Accepted.Add(int64(st.Accepted))
+		tel.Rejected.Add(int64(st.Rejected))
+		tel.Improved.Add(int64(st.Improved))
 	}
 	return best, bestCost, st
 }
@@ -170,6 +182,7 @@ func RunMovesPortfolioCtx[S any](ctx context.Context, cfg Config, pf PortfolioCo
 		ps.PerChain[c] = r.st
 		ps.Total.Iterations += r.st.Iterations
 		ps.Total.Accepted += r.st.Accepted
+		ps.Total.Rejected += r.st.Rejected
 		ps.Total.Improved += r.st.Improved
 		if r.cost < results[winner].cost {
 			winner = c

@@ -10,6 +10,7 @@ import (
 	"soma/internal/engine"
 	"soma/internal/hw"
 	"soma/internal/models"
+	"soma/internal/obs"
 	"soma/internal/report"
 	"soma/internal/soma"
 	"soma/internal/workload"
@@ -172,6 +173,10 @@ type Job struct {
 	// events buffers the engine's progress stream for the SSE endpoint;
 	// closed together with done.
 	events *eventLog
+	// tracer collects the job's solve spans for GET /v1/jobs/{id}/trace.
+	// Created at submission, so reading a running job serves the partial
+	// trace; the tracer itself is concurrency-safe.
+	tracer *obs.Tracer
 }
 
 // View is the JSON shape of a job served by the API. Plain jobs carry

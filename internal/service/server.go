@@ -4,16 +4,21 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"soma/internal/dse"
 	"soma/internal/engine"
 	"soma/internal/exp"
 	"soma/internal/hw"
+	"soma/internal/obs"
 	"soma/internal/report"
 	"soma/internal/sim"
 	"soma/internal/workload"
@@ -55,6 +60,13 @@ type Server struct {
 	store *Store
 	cache *sim.Cache
 
+	// reg is the process-wide metrics registry behind GET /metrics: every
+	// job's search telemetry (sa/sim/engine/dse families) lands here, plus
+	// the service's own job counters. Jobs get per-job tracers but share
+	// this one registry - Prometheus scraping wants process totals.
+	reg     *obs.Registry
+	started time.Time
+
 	queue chan string
 
 	// base is canceled by Stop/Shutdown, stopping workers and running
@@ -72,13 +84,18 @@ func New(cfg Config) *Server {
 	cfg = cfg.normalized()
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		store:  NewStore(cfg.MaxJobs),
-		cache:  sim.NewCache(cfg.CacheEntries),
-		queue:  make(chan string, cfg.QueueDepth),
-		base:   base,
-		cancel: cancel,
+		cfg:     cfg,
+		store:   NewStore(cfg.MaxJobs),
+		cache:   sim.NewCache(cfg.CacheEntries),
+		reg:     obs.NewRegistry(),
+		started: time.Now(),
+		queue:   make(chan string, cfg.QueueDepth),
+		base:    base,
+		cancel:  cancel,
 	}
+	// Export the shared cache's counters up front so /metrics serves the
+	// sim_eval_cache_* family before the first job arrives.
+	s.cache.ExportMetrics(s.reg)
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -147,21 +164,26 @@ func (s *Server) runJob(id string) {
 		return
 	}
 	hooks := &engine.Hooks{Event: func(e engine.Event) { s.store.appendEvent(id, e) }}
+	o := s.jobObs(id)
 	if in.sweep != nil {
-		s.runSweepJob(ctx, id, *in.sweep, hooks)
+		s.runSweepJob(ctx, id, *in.sweep, hooks, o)
 		return
 	}
-	res, err := s.execute(ctx, in, hooks)
+	res, err := s.execute(ctx, in, hooks, o)
+	s.countJob(in.req.Backend, err)
 	switch {
 	case err == nil:
 		// The job table serves JSON only: drop the Raw artifact sections
 		// (graphs, schedules, encodings) so retained results cost payload
-		// scalars, not whole schedule object trees.
-		res.Raw = nil
+		// scalars, not whole schedule object trees. Telemetry goes with
+		// them: it is wall-clock measurement, and dropping it keeps a
+		// fixed-seed job's stored payload byte-identical to `soma -json`
+		// (the wall times still reach /metrics and the job's trace).
+		res.Raw, res.Telemetry = nil, nil
 		if res.Scenario != nil {
 			for i := range res.Scenario.Components {
 				if iso := res.Scenario.Components[i].Isolated; iso != nil {
-					iso.Raw = nil
+					iso.Raw, iso.Telemetry = nil, nil
 				}
 			}
 		}
@@ -179,8 +201,9 @@ func (s *Server) runJob(id string) {
 // rows lose their in-memory Raw artifacts and run-dependent cache counters,
 // which makes a fixed-seed sweep's rows byte-identical to the journal
 // `soma -sweep` writes for the same spec.
-func (s *Server) runSweepJob(ctx context.Context, id string, sw dse.Sweep, hooks *engine.Hooks) {
-	out, err := dse.Run(ctx, sw, dse.Options{Cache: s.cache, Hooks: hooks})
+func (s *Server) runSweepJob(ctx context.Context, id string, sw dse.Sweep, hooks *engine.Hooks, o *obs.Obs) {
+	out, err := dse.Run(ctx, sw, dse.Options{Cache: s.cache, Hooks: hooks, Obs: o})
+	s.countJob("sweep", err)
 	switch {
 	case err == nil:
 		out.Scrub()
@@ -197,10 +220,35 @@ func (s *Server) runSweepJob(ctx context.Context, id string, sw dse.Sweep, hooks
 // The process-wide evaluation cache is shared across every request; the
 // engine scopes its keys per (workload, batch, hw) context, so
 // heterogeneous jobs never collide.
-func (s *Server) execute(ctx context.Context, in runInputs, h *engine.Hooks) (*report.Result, error) {
+func (s *Server) execute(ctx context.Context, in runInputs, h *engine.Hooks, o *obs.Obs) (*report.Result, error) {
 	req := in.req
 	req.Cache = s.cache
+	req.Obs = o
 	return engine.Run(ctx, req, h)
+}
+
+// jobObs bundles the process-wide registry with the job's own tracer, so
+// metrics aggregate across jobs while traces stay per job.
+func (s *Server) jobObs(id string) *obs.Obs {
+	tr, ok := s.store.Trace(id)
+	if !ok {
+		return nil
+	}
+	return &obs.Obs{Reg: s.reg, Tracer: tr}
+}
+
+// countJob records one finished job on the somad_jobs_total counter, labeled
+// by what ran (a backend name, or "sweep") and how it ended.
+func (s *Server) countJob(kind string, err error) {
+	outcome := "ok"
+	switch {
+	case errors.Is(err, context.Canceled):
+		outcome = "canceled"
+	case err != nil:
+		outcome = "error"
+	}
+	s.reg.Counter("somad_jobs_total", "Jobs completed by the worker pool.",
+		"kind", kind, "outcome", outcome).Inc()
 }
 
 func (s *Server) routes() {
@@ -221,6 +269,19 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleTrace)
+	// Ops endpoints (docs/observability.md): Prometheus exposition plus the
+	// stdlib profiling and expvar handlers. They live on the API mux, so a
+	// single listener serves both planes; deployments that want them off the
+	// public port can front the daemon with a path-filtering proxy.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux = mux
 }
 
@@ -245,23 +306,92 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 // Stats is the GET /v1/stats payload: queue occupancy, per-state job
-// counts, and the shared evaluation-cache counters.
+// counts, the shared evaluation-cache counters, process uptime, per-backend
+// solve tallies and the full metrics-registry snapshot.
 type Stats struct {
 	Workers       int            `json:"workers"`
 	QueueDepth    int            `json:"queue_depth"`
 	QueueCapacity int            `json:"queue_capacity"`
 	Jobs          map[State]int  `json:"jobs"`
 	Cache         sim.CacheStats `json:"cache"`
+	// UptimeSeconds is time since the service was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Solves counts completed jobs per backend name ("sweep" for grid
+	// jobs), regardless of outcome.
+	Solves map[string]int64 `json:"solves,omitempty"`
+	// Metrics is the registry snapshot behind GET /metrics, as JSON for
+	// clients that want counters without parsing Prometheus text.
+	Metrics []obs.MetricSnapshot `json:"metrics,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	// One Counts() call serves both the per-state map and the queue depth:
+	// both derive from a single pass under the store lock, so the two can
+	// never contradict each other (a job counted done cannot also still be
+	// pending in queue_depth, which separate len(queue) and Counts() reads
+	// allowed).
+	counts := s.store.Counts()
 	writeJSON(w, http.StatusOK, Stats{
 		Workers:       s.cfg.Workers,
-		QueueDepth:    len(s.queue),
+		QueueDepth:    counts[StateQueued],
 		QueueCapacity: cap(s.queue),
-		Jobs:          s.store.Counts(),
+		Jobs:          counts,
 		Cache:         s.cache.Stats(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Solves:        s.solveCounts(),
+		Metrics:       s.reg.Snapshot(),
 	})
+}
+
+// solveCounts reads the per-backend tallies off somad_jobs_total: one series
+// per (kind, outcome), summed over outcomes here.
+func (s *Server) solveCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for _, m := range s.reg.Snapshot() {
+		if m.Name != "somad_jobs_total" {
+			continue
+		}
+		for _, se := range m.Series {
+			if kind, ok := labelValue(se.Labels, "kind"); ok {
+				out[kind] += int64(se.Value)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// labelValue extracts one label's value from a rendered `{k="v",...}`
+// signature.
+func labelValue(sig, key string) (string, bool) {
+	for _, part := range strings.Split(strings.Trim(sig, "{}"), ",") {
+		if k, v, ok := strings.Cut(part, "="); ok && k == key {
+			return strings.Trim(v, `"`), true
+		}
+	}
+	return "", false
+}
+
+// handleMetrics is GET /metrics: the registry in Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleTrace serves a job's span trace as Chrome trace-event JSON
+// (load it at ui.perfetto.dev). Running jobs serve the partial trace
+// collected so far; queued jobs serve an empty one.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.store.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tr.WriteJSON(w)
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {

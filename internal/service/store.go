@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"soma/internal/engine"
+	"soma/internal/obs"
 )
 
 // Store is the in-memory job table. It owns every state transition so the
@@ -77,6 +78,7 @@ func (st *Store) Add(req Request, in runInputs) View {
 		Created: time.Now(),
 		done:    make(chan struct{}),
 		events:  newEventLog(),
+		tracer:  obs.NewTracer(),
 	}
 	st.jobs[j.ID] = j
 	st.order = append(st.order, j.ID)
@@ -216,6 +218,19 @@ func (st *Store) CancelAll() {
 			}
 		}
 	}
+}
+
+// Trace exposes a job's span tracer; ok is false for unknown IDs. The tracer
+// is live from submission, so reading a running job serves the partial trace
+// collected so far.
+func (st *Store) Trace(id string) (*obs.Tracer, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.tracer, true
 }
 
 // Events exposes a job's progress-event log; ok is false for unknown IDs.

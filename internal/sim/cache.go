@@ -7,6 +7,7 @@ import (
 
 	"soma/internal/core"
 	"soma/internal/coresched"
+	"soma/internal/obs"
 )
 
 // Cache memoizes schedule evaluations. The annealing stages revisit states -
@@ -163,4 +164,28 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Unlock()
 	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(),
 		Entries: entries, Flushes: c.flushes.Load()}
+}
+
+// ExportMetrics registers pull gauges on reg exposing this cache's counters
+// as the sim_eval_cache_* family. Gauges read the cache's own atomics at
+// exposition time, so exporting costs nothing on the evaluation path.
+// Re-exporting (e.g. after swapping caches) re-points the gauges at the new
+// cache. Safe on a nil cache or nil registry.
+func (c *Cache) ExportMetrics(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("sim_eval_cache_hits_total",
+		"Evaluation-cache hits.", func() float64 { return float64(c.hits.Load()) })
+	reg.GaugeFunc("sim_eval_cache_misses_total",
+		"Evaluation-cache misses.", func() float64 { return float64(c.misses.Load()) })
+	reg.GaugeFunc("sim_eval_cache_flushes_total",
+		"Evaluation-cache generation evictions.", func() float64 { return float64(c.flushes.Load()) })
+	reg.GaugeFunc("sim_eval_cache_entries",
+		"Live evaluation-cache entries across both generations.", func() float64 {
+			c.mu.Lock()
+			n := len(c.cur) + len(c.old)
+			c.mu.Unlock()
+			return float64(n)
+		})
 }

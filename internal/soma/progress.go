@@ -38,14 +38,18 @@ func (e *Explorer) notify(p Progress) {
 }
 
 // improveHook adapts the portfolio's per-chain improvement callback to a
-// stage-tagged Progress event; it returns nil when no hook is installed so
-// the annealer skips callback plumbing entirely.
+// stage-tagged Progress event (and, when tracing, a best-cost counter
+// sample); it returns nil when no observer is installed so the annealer
+// skips callback plumbing entirely.
 func (e *Explorer) improveHook(stage string) func(chain, iter int, cost float64) {
-	if e.Progress == nil {
+	if e.Progress == nil && e.Track == nil {
 		return nil
 	}
 	return func(chain, iter int, cost float64) {
-		e.Progress(Progress{Stage: stage, Kind: "improve", AllocIter: e.allocIter,
-			Chain: chain, Iter: iter, Cost: cost})
+		if e.Progress != nil {
+			e.Progress(Progress{Stage: stage, Kind: "improve", AllocIter: e.allocIter,
+				Chain: chain, Iter: iter, Cost: cost})
+		}
+		e.Track.Counter("best_cost/"+stage, cost)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"soma/internal/coresched"
 	"soma/internal/graph"
 	"soma/internal/hw"
+	"soma/internal/obs"
 	"soma/internal/sa"
 	"soma/internal/sim"
 )
@@ -137,6 +138,11 @@ type Result struct {
 	Stage1Budget int64
 	// Cache is the evaluation-cache counter snapshot for the whole run.
 	Cache sim.CacheStats
+	// Stage1WallNS/Stage2WallNS are the wall-clock nanoseconds spent in
+	// each stage summed over every allocator iteration (filled by
+	// Run/RunContext; zero for a bare RunOnce). Wall time is measurement,
+	// not search state: it never feeds back into the exploration.
+	Stage1WallNS, Stage2WallNS int64
 }
 
 // Explorer runs SoMa for one graph on one hardware configuration.
@@ -161,11 +167,23 @@ type Explorer struct {
 	// the search only and never changes the result; portfolio chains invoke
 	// it concurrently, so it must be safe for concurrent use.
 	Progress func(Progress)
+	// Reg, when non-nil, receives search telemetry: annealer move counters
+	// per stage (soma_sa_*), incremental-evaluator counters (sim_inc_*),
+	// the evaluation cache's counters (sim_eval_cache_*) and allocator
+	// iteration counts. Like Progress it observes only - fixed-seed
+	// results are byte-identical with or without it.
+	Reg *obs.Registry
+	// Track, when non-nil, is the trace track this explorer's stage spans
+	// and best-cost counter samples land on.
+	Track *obs.Track
 	// allocIter is the 1-based Buffer Allocator iteration currently
 	// running, tagged onto progress events. RunContext writes it strictly
 	// between RunOnce calls, so concurrent chain callbacks only ever read a
 	// settled value.
 	allocIter int
+	// stage1WallNS/stage2WallNS accumulate per-stage wall time across the
+	// allocator loop; RunContext folds them into the Result.
+	stage1WallNS, stage2WallNS int64
 }
 
 // New builds an explorer. The core-array scheduler cache and the evaluation
@@ -209,6 +227,16 @@ func (e *Explorer) Run() (*Result, error) {
 // iterations themselves via RunOnce).
 func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 	full := e.Cfg.GBufBytes
+	e.Cache.ExportMetrics(e.Reg)
+	e.stage1WallNS, e.stage2WallNS = 0, 0
+	allocIters := e.Reg.Counter("soma_alloc_iters_total",
+		"Buffer Allocator iterations executed.")
+	finish := func(r *Result) *Result {
+		r.Cache = e.Cache.Stats()
+		r.Stage1WallNS, r.Stage2WallNS = e.stage1WallNS, e.stage2WallNS
+		allocIters.Add(int64(r.AllocIters))
+		return r
+	}
 	e.allocIter = 1
 	best, err := e.RunOnce(ctx, full, e.Par.Seed)
 	if err != nil {
@@ -217,14 +245,12 @@ func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 	best.AllocIters = 1
 	best.Stage1Budget = full
 	if e.Par.Ablate.NoAllocator {
-		best.Cache = e.Cache.Stats()
-		return best, nil
+		return finish(best), nil
 	}
 
 	step := int64(e.Par.BufferStepFrac * float64(best.Stage1.Metrics.PeakBufferBytes))
 	if step <= 0 {
-		best.Cache = e.Cache.Stats()
-		return best, nil
+		return finish(best), nil
 	}
 	bad := 0
 	for k := 1; ; k++ {
@@ -252,8 +278,7 @@ func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 			break
 		}
 	}
-	best.Cache = e.Cache.Stats()
-	return best, nil
+	return finish(best), nil
 }
 
 // RunOnce performs a single two-stage exploration with the given stage-1

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"time"
 
 	"soma/internal/core"
 	"soma/internal/sa"
@@ -24,6 +25,13 @@ const encKeyPrefix = "enc:"
 // ctx.Err().
 func (e *Explorer) RunStage1(ctx context.Context, budget int64, seed int64) (*core.Encoding, StageResult, error) {
 	e.notify(Progress{Stage: "stage1", Kind: "start", AllocIter: e.allocIter, Budget: budget})
+	start := time.Now()
+	span := e.Track.Start("stage1", "soma").
+		Arg("alloc_iter", e.allocIter).Arg("budget", budget)
+	defer func() {
+		e.stage1WallNS += time.Since(start).Nanoseconds()
+		span.End()
+	}()
 	init := InitialEncoding(e.G, e.Cfg, e.Par.MinTile)
 	iters := e.Par.Beta1 * len(init.Order)
 	if e.Par.Stage1MaxIters > 0 && iters > e.Par.Stage1MaxIters {
@@ -52,7 +60,8 @@ func (e *Explorer) RunStage1(ctx context.Context, budget int64, seed int64) (*co
 		return m.Cost(e.Obj.N, e.Obj.M)
 	}
 
-	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed}
+	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed,
+		Telemetry: sa.NewTelemetry(e.Reg, "stage1")}
 	pf := e.portfolio()
 	pf.OnImprove = e.improveHook("stage1")
 	best, bestCost, stats := sa.RunPortfolioCtx(ctx, cfg, pf, init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {

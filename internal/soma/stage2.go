@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"time"
 
 	"soma/internal/core"
 	"soma/internal/sa"
@@ -29,6 +30,12 @@ import (
 func (e *Explorer) RunStage2(ctx context.Context, sched *core.Schedule, seed int64) (*core.Schedule, StageResult) {
 	e.notify(Progress{Stage: "stage2", Kind: "start", AllocIter: e.allocIter,
 		Budget: e.Cfg.GBufBytes})
+	start := time.Now()
+	span := e.Track.Start("stage2", "soma").Arg("alloc_iter", e.allocIter)
+	defer func() {
+		e.stage2WallNS += time.Since(start).Nanoseconds()
+		span.End()
+	}()
 	iters := e.Par.Beta2 * len(sched.Tensors)
 	if iters > e.Par.Stage2MaxIters {
 		iters = e.Par.Stage2MaxIters
@@ -39,15 +46,18 @@ func (e *Explorer) RunStage2(ctx context.Context, sched *core.Schedule, seed int
 	// and reused across every candidate DLSA; the evaluation cache then
 	// short-circuits revisited DLSA points entirely.
 	tc := sim.PrecomputeTileCosts(sched, e.CS)
-	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed + 7919}
+	cfg := sa.Config{T0: e.Par.T0, Alpha: e.Par.Alpha, Iters: iters, Seed: seed + 7919,
+		Telemetry: sa.NewTelemetry(e.Reg, "stage2")}
 	pf := e.portfolio()
 	pf.OnImprove = e.improveHook("stage2")
+	incTel := sim.NewIncTelemetry(e.Reg)
 	best, bestCost, stats := sa.RunMovesPortfolioCtx[*core.Schedule](ctx, cfg, pf,
 		func(int) sa.MoveState[*core.Schedule] {
 			// Chains perturb their own schedule clone and incremental
-			// evaluator; the tile costs, size picker and evaluation
-			// cache are shared (all safe for concurrent use).
-			return newStage2Moves(e, sched.Clone(), picker, tc)
+			// evaluator; the tile costs, size picker, evaluation cache
+			// and telemetry counters are shared (all safe for
+			// concurrent use).
+			return newStage2Moves(e, sched.Clone(), picker, tc, incTel)
 		})
 	_, m := e.cost(best, e.Cfg.GBufBytes)
 	e.notify(Progress{Stage: "stage2", Kind: "done", AllocIter: e.allocIter, Cost: bestCost})
@@ -66,9 +76,10 @@ type stage2Moves struct {
 	budget int64
 }
 
-func newStage2Moves(e *Explorer, s *core.Schedule, picker *sizePicker, tc *sim.TileCosts) *stage2Moves {
+func newStage2Moves(e *Explorer, s *core.Schedule, picker *sizePicker, tc *sim.TileCosts,
+	tel *sim.IncTelemetry) *stage2Moves {
 	inc, err := sim.NewIncremental(s, e.CS, sim.Options{
-		BufferBudget: e.Cfg.GBufBytes, TileCosts: tc, CacheScope: e.Scope})
+		BufferBudget: e.Cfg.GBufBytes, TileCosts: tc, CacheScope: e.Scope, Telemetry: tel})
 	if err != nil {
 		// Only reachable on tile-cost/schedule shape mismatch, which a
 		// parse-derived schedule cannot produce.
