@@ -15,12 +15,14 @@
 //	soma -scenario my_mix.json -profile fast
 //	soma -sweep grid.json -journal grid.jsonl -progress
 //	soma -model resnet50 -telemetry            # search metrics on stderr
+//	soma -model resnet50 -convergence-out c.json # annealing trajectory + diagnostics
 //	soma -sweep grid.json -trace-out grid.json # Perfetto trace of the sweep
 //	soma -list
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -63,6 +65,7 @@ func main() {
 	sweep := flag.String("sweep", "", "run a design-space exploration grid from a JSON sweep spec file (docs/dse.md)")
 	journal := flag.String("journal", "", "sweep checkpoint file (JSONL); an interrupted sweep resumes from its committed prefix")
 	telemetry := flag.Bool("telemetry", false, "dump search metrics in Prometheus text format to stderr after the run (docs/observability.md)")
+	convergenceOut := flag.String("convergence-out", "", "write the run's convergence journal and search diagnostics to this file as JSON (docs/observability.md)")
 	traceOut := flag.String("trace-out", "", "write the solve's span trace to this file as Chrome trace-event JSON (load at ui.perfetto.dev)")
 	list := flag.Bool("list", false, "list registered models, platforms and built-in scenarios, then exit")
 	flag.Parse()
@@ -107,6 +110,12 @@ func main() {
 	if *telemetry || *traceOut != "" {
 		o = obs.New()
 	}
+	// The convergence journal is pass-through the same way; per-point sweep
+	// convergence is a sweep-spec field instead (-sweep rejects this flag).
+	var jnl *obs.Journal
+	if *convergenceOut != "" {
+		jnl = obs.NewJournal()
+	}
 
 	if *sweep != "" {
 		// A sweep spec declares its own axes and search parameters; the
@@ -143,7 +152,7 @@ func main() {
 		case *showTrace || *irOut != "":
 			fatal(fmt.Errorf("-trace and -ir are not supported with -scenario"))
 		}
-		runScenario(*scenario, *hwName, obj, par, *jsonOut, hooks, o)
+		runScenario(*scenario, *hwName, obj, par, *jsonOut, hooks, o, jnl, *convergenceOut)
 		flushObs(o, *telemetry, *traceOut)
 		return
 	}
@@ -160,6 +169,7 @@ func main() {
 		Objective: obj,
 		Params:    par,
 		Obs:       o,
+		Journal:   jnl,
 	}
 	if *dram > 0 || *buf > 0 {
 		req.Config = &cfg
@@ -181,6 +191,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	writeConvergence(*convergenceOut, payload)
 	sched, metrics := payload.Raw.Schedule, payload.Raw.Metrics
 	if st := payload.Search; st != nil && !*jsonOut {
 		fmt.Printf("buffer allocator: %d iterations, stage-1 budget %s\n",
@@ -236,6 +247,30 @@ func main() {
 	flushObs(o, *telemetry, *traceOut)
 }
 
+// writeConvergence dumps the run's Convergence section to path as indented
+// JSON and scrubs it from the payload, so `-json` output stays byte-identical
+// with or without the flag — the same rule somad applies, serving the report
+// on its own endpoint instead of inside the stored result. Serial runs (the
+// -chains default) are fully deterministic for a fixed seed, which the CI
+// golden relies on. No-op when path is empty.
+func writeConvergence(path string, res *report.Result) {
+	if path == "" {
+		return
+	}
+	rep := res.Convergence
+	if rep == nil {
+		fatal(fmt.Errorf("run produced no convergence report"))
+	}
+	res.Convergence = nil
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
 // flushObs emits the collected observability artifacts after a run: the
 // metrics registry as Prometheus text on stderr (-telemetry) and the span
 // trace as Chrome trace-event JSON (-trace-out). No-op when the bundle is
@@ -279,16 +314,18 @@ func resolveScenario(arg string) (workload.Scenario, error) {
 // runScenario is the -scenario flow: compose, schedule, and report. The JSON
 // payload is the exact one the somad jobs API serves for the same request
 // (both route through engine.Run).
-func runScenario(arg, hwName string, obj soma.Objective, par soma.Params, jsonOut bool, hooks *engine.Hooks, o *obs.Obs) {
+func runScenario(arg, hwName string, obj soma.Objective, par soma.Params, jsonOut bool, hooks *engine.Hooks, o *obs.Obs, jnl *obs.Journal, convergenceOut string) {
 	sc, err := resolveScenario(arg)
 	if err != nil {
 		fatal(err)
 	}
 	res, err := engine.Run(context.Background(), engine.Request{
-		Scenario: &sc, Platform: hwName, Objective: obj, Params: par, Obs: o}, hooks)
+		Scenario: &sc, Platform: hwName, Objective: obj, Params: par, Obs: o,
+		Journal: jnl}, hooks)
 	if err != nil {
 		fatal(err)
 	}
+	writeConvergence(convergenceOut, res)
 	if jsonOut {
 		if err := res.WriteJSON(os.Stdout); err != nil {
 			fatal(err)

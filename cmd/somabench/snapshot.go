@@ -57,6 +57,11 @@ type BenchEntry struct {
 	// profile. Machine- and load-dependent: recorded for the trajectory,
 	// never gated on.
 	SolveMS float64 `json:"solve_ms,omitempty"`
+	// CacheHitRate is the evaluation-cache hit rate of that same solve
+	// (report.Result Search.CacheHitRate). Unlike SolveMS it is
+	// deterministic for a fixed seed; recorded for the trajectory so cache
+	// effectiveness regressions show up alongside per-move cost.
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 }
 
 // BenchSnapshot is the BENCH_6.json payload.
@@ -214,7 +219,7 @@ func (h *harness) benchCase(c exp.Case, solve bool) (BenchEntry, error) {
 
 	if solve {
 		start := time.Now()
-		_, err := engine.Run(context.Background(), engine.Request{Backend: "soma",
+		res, err := engine.Run(context.Background(), engine.Request{Backend: "soma",
 			Model: c.Workload, Batch: c.Batch, Platform: c.Platform,
 			Objective: soma.EDP(), Params: h.par}, nil)
 		switch {
@@ -228,6 +233,7 @@ func (h *harness) benchCase(c exp.Case, solve bool) (BenchEntry, error) {
 			return e, err
 		default:
 			e.SolveMS = float64(time.Since(start)) / float64(time.Millisecond)
+			e.CacheHitRate = res.Search.CacheHitRate
 		}
 	}
 	return e, nil
@@ -346,7 +352,7 @@ func durationJitter(s *core.Schedule, rng *rand.Rand) int {
 func snapshotTable(snap BenchSnapshot) *report.Table {
 	t := report.New("stage-2 per-move evaluation snapshot", "model", "platform",
 		"tiles", "tensors", "inc ns/move", "full ns/move", "speedup",
-		"allocs inc/full", "resumed", "events", "solve ms")
+		"allocs inc/full", "resumed", "events", "solve ms", "cache hit")
 	for _, e := range snap.Models {
 		t.Add(e.Model, e.Platform,
 			fmt.Sprintf("%d", e.Tiles), fmt.Sprintf("%d", e.Tensors),
@@ -356,7 +362,8 @@ func snapshotTable(snap BenchSnapshot) *report.Table {
 			fmt.Sprintf("%.0f/%.0f", e.IncAllocsPerMove, e.FullAllocsPerMove),
 			fmt.Sprintf("%.0f%%", 100*e.ResumedFrac),
 			fmt.Sprintf("%.0f%%", 100*e.EventsFrac),
-			fmt.Sprintf("%.0f", e.SolveMS))
+			fmt.Sprintf("%.0f", e.SolveMS),
+			fmt.Sprintf("%.0f%%", 100*e.CacheHitRate))
 	}
 	return t
 }

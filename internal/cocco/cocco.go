@@ -49,6 +49,10 @@ type Explorer struct {
 	// Progress.
 	Reg   *obs.Registry
 	Track *obs.Track
+	// Journal, when non-nil, collects the search's convergence trajectory
+	// as a single "cocco" series (the baseline is one chain, one stage).
+	// Pass-through observation only, like Reg.
+	Journal *obs.Journal
 }
 
 // New builds a baseline explorer; Params.Beta1 scales its iteration budget
@@ -85,6 +89,9 @@ func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 			e.Track.Counter("best_cost/cocco", cost)
 		}
 	}
+	if e.Journal != nil {
+		cfg.Journal = e.Journal.Series("cocco", 0, 0)
+	}
 	span := e.Track.Start("cocco", "cocco").Arg("iters", iters)
 	best, bestCost, stats := sa.RunMovesCtx[*core.Encoding](ctx, cfg, &coccoMoves{e: e, cur: init})
 	span.End()
@@ -118,22 +125,26 @@ func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 type coccoMoves struct {
 	e         *Explorer
 	cur, cand *core.Encoding
+	// kind names the operator the last productive Propose drew
+	// (sa.MoveKinder, for the convergence journal).
+	kind string
 }
 
 func (ms *coccoMoves) InitCost() float64 { return ms.cost(ms.cur) }
 
 func (ms *coccoMoves) Propose(rng *rand.Rand) (float64, bool) {
-	cand, ok := ms.e.mutate(ms.cur, rng)
+	cand, kind, ok := ms.e.mutate(ms.cur, rng)
 	if !ok {
 		return 0, false
 	}
-	ms.cand = cand
+	ms.cand, ms.kind = cand, kind
 	return ms.cost(cand), true
 }
 
 func (ms *coccoMoves) Accept()                  { ms.cur = ms.cand }
 func (ms *coccoMoves) Reject()                  {}
 func (ms *coccoMoves) Snapshot() *core.Encoding { return ms.cur }
+func (ms *coccoMoves) MoveKind() string         { return ms.kind }
 
 // cost parses and fully evaluates one encoding (+Inf when illegal,
 // deadlocked, or over budget).
@@ -151,19 +162,24 @@ func (ms *coccoMoves) cost(enc *core.Encoding) float64 {
 
 // mutate applies one Cocco operator: move a layer, or toggle a DRAM cut
 // (always re-deriving the heuristic tiling, since group membership changed).
-func (e *Explorer) mutate(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
+// The returned name tags the operator for the convergence journal.
+func (e *Explorer) mutate(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, string, bool) {
 	c := enc.Clone()
 	n := len(c.Order)
 	ok := false
+	kind := ""
 	switch rng.Intn(3) {
 	case 0:
+		kind = "order"
 		ok = c.MoveLayer(e.G, rng.Intn(n), rng.Intn(n))
 	case 1: // add a fusion boundary removal == merge two LGs
+		kind = "merge"
 		if len(c.FLCs) == 0 {
-			return c, false
+			return c, kind, false
 		}
 		ok = c.RemoveFLC(rng.Intn(len(c.FLCs)), 1)
 	default: // split an LG at a random position
+		kind = "split"
 		p := 1 + rng.Intn(n-1)
 		ok = c.AddFLC(p)
 		if ok {
@@ -176,10 +192,10 @@ func (e *Explorer) mutate(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, b
 		}
 	}
 	if !ok {
-		return c, false
+		return c, kind, false
 	}
 	e.applyHeuristicTiling(c)
-	return c, true
+	return c, kind, true
 }
 
 // applyHeuristicTiling sets every LG's tiling number with the baseline's

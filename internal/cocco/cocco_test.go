@@ -85,7 +85,10 @@ func TestCoccoMutationKeepsInvariant(t *testing.T) {
 	e.applyHeuristicTiling(enc)
 	rng := newRand(3)
 	for i := 0; i < 200; i++ {
-		c, ok := e.mutate(enc, rng)
+		c, kind, ok := e.mutate(enc, rng)
+		if kind == "" {
+			t.Fatalf("iteration %d: unnamed operator", i)
+		}
 		if !ok {
 			continue
 		}

@@ -11,6 +11,7 @@ import (
 	"soma/internal/engine"
 	"soma/internal/hw"
 	"soma/internal/models"
+	"soma/internal/obs"
 	"soma/internal/report"
 	"soma/internal/soma"
 	"soma/internal/workload"
@@ -68,6 +69,15 @@ type Sweep struct {
 	// (<= 0 selects GOMAXPROCS-style NumCPU). Results and journal rows
 	// are identical for any worker count.
 	Workers int `json:"workers,omitempty"`
+
+	// Convergence attaches per-point search diagnostics to every row
+	// (Row.Convergence): the engine journals each point's annealing
+	// trajectory and the row keeps the derived summary. The diagnostics
+	// depend only on sampled move counts and costs, so journal rows stay
+	// byte-identical for any worker count. Setting this changes the spec
+	// digest - a journal written without diagnostics cannot resume into a
+	// run that expects them.
+	Convergence bool `json:"convergence,omitempty"`
 }
 
 // Search is the JSON-friendly search-parameter block of a sweep spec: a
@@ -405,6 +415,13 @@ type Row struct {
 	// Err records a per-point search failure (e.g. an infeasible buffer
 	// size); the sweep itself keeps going, like Fig. 7's infeasible cells.
 	Err string `json:"error,omitempty"`
+	// Convergence is the per-point search-diagnostics summary, attached
+	// when the spec sets "convergence". Unlike the full Result.Convergence
+	// section - scrubbed from persisted rows because its samples carry
+	// cache-warmth-dependent incremental counters - the diagnostics derive
+	// only from sampled costs and move counts, so journaled rows stay
+	// byte-identical across worker counts and resumes.
+	Convergence *obs.Diagnostics `json:"convergence,omitempty"`
 }
 
 // Scrubbed returns a copy of the row safe to persist and compare across
@@ -428,6 +445,10 @@ func scrubResult(res *report.Result) *report.Result {
 	// Telemetry is wall-clock (observability runs only) - as
 	// interleaving-dependent as the cache counters, so it never persists.
 	out.Telemetry = nil
+	// The full convergence section's samples carry incremental-evaluation
+	// counters that depend on cache warmth; the worker-count-stable summary
+	// persists as Row.Convergence instead.
+	out.Convergence = nil
 	if res.Search != nil {
 		s := *res.Search
 		s.CacheHits, s.CacheMisses, s.CacheEntries, s.CacheGenerations = 0, 0, 0, 0

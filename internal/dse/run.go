@@ -192,7 +192,7 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
 			if ctx.Err() != nil {
 				return
 			}
-			out.Rows[i] = runPoint(ctx, pts[i], par, cache, opt.Hooks, opt.Obs)
+			out.Rows[i] = runPoint(ctx, pts[i], par, cache, opt.Hooks, opt.Obs, sw.Convergence)
 			// Commit completed rows even if cancellation raced in right
 			// after the solve finished - the journal keeps every point
 			// that was actually paid for. Aborted points (neither result
@@ -233,7 +233,7 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
 // become error rows - an infeasible (buffer, bandwidth) corner is data, not
 // a reason to abort the grid.
 func runPoint(ctx context.Context, p Point, par soma.Params, cache *sim.Cache,
-	h *engine.Hooks, o *obs.Obs) Row {
+	h *engine.Hooks, o *obs.Obs, convergence bool) Row {
 	h.Emit(engine.Event{Kind: "point-start", Component: p.Label(), Iter: p.Index})
 	reg := o.Registry()
 	start := time.Now()
@@ -242,6 +242,9 @@ func runPoint(ctx context.Context, p Point, par soma.Params, cache *sim.Cache,
 	if err == nil {
 		req.Cache = cache
 		req.Obs = o
+		if convergence {
+			req.Journal = obs.NewJournal()
+		}
 		// Concurrent points must not share a trace track: each gets its own
 		// row in the viewer, named by grid position.
 		req.TraceTrack = fmt.Sprintf("point-%03d %s", p.Index, p.Label())
@@ -258,6 +261,9 @@ func runPoint(ctx context.Context, p Point, par soma.Params, cache *sim.Cache,
 			"outcome", "error").Inc()
 		h.Emit(engine.Event{Kind: "point-error", Component: p.Label(), Iter: p.Index, Err: row.Err})
 		return row
+	}
+	if row.Result.Convergence != nil {
+		row.Convergence = row.Result.Convergence.Diagnostics
 	}
 	reg.Counter("dse_points_total", "Sweep points by outcome.",
 		"outcome", "ok").Inc()

@@ -237,3 +237,70 @@ func TestWriteJournalMatchesFileJournal(t *testing.T) {
 		t.Fatal("WriteJournal output differs from the checkpoint file")
 	}
 }
+
+// TestConvergenceRows: a sweep with the convergence field set carries the
+// per-point diagnostics summary on every row, serial and parallel journals
+// stay byte-identical, and the full Result.Convergence section never
+// persists (its samples are cache-warmth-dependent).
+func TestConvergenceRows(t *testing.T) {
+	sweep := func(workers int) Sweep {
+		sw := fastSweep(workers)
+		sw.Convergence = true
+		return sw
+	}
+	dir := t.TempDir()
+	paths := map[int]string{1: filepath.Join(dir, "serial.jsonl"), 4: filepath.Join(dir, "par.jsonl")}
+	outs := map[int]*Outcome{}
+	for workers, path := range paths {
+		out, err := Run(context.Background(), sweep(workers), Options{Journal: path})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		outs[workers] = out
+	}
+	for workers, out := range outs {
+		for i, r := range out.Rows {
+			if r.Convergence == nil {
+				t.Fatalf("workers=%d row %d has no diagnostics", workers, i)
+			}
+			if r.Convergence.FinalBest != r.Result.Cost {
+				t.Fatalf("workers=%d row %d: diagnostics FinalBest %g != cost %g",
+					workers, i, r.Convergence.FinalBest, r.Result.Cost)
+			}
+			if r.Convergence.TotalMoves <= 0 {
+				t.Fatalf("workers=%d row %d: empty diagnostics %+v", workers, i, r.Convergence)
+			}
+			if s := r.Scrubbed(); s.Result.Convergence != nil {
+				t.Fatalf("workers=%d row %d: scrubbed row kept full convergence section", workers, i)
+			}
+		}
+	}
+	serial, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := os.ReadFile(paths[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(serial) != string(par) {
+		t.Fatal("convergence journal differs between serial and parallel runs")
+	}
+	if !strings.Contains(string(serial), `"convergence":{"stage":`) {
+		t.Fatal("journal rows carry no convergence diagnostics")
+	}
+
+	// The digest must distinguish convergence sweeps from plain ones, so a
+	// plain journal cannot resume into a diagnostics run.
+	plain, err := fastSweep(1).SpecSHA256()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := sweep(1).SpecSHA256()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == conv {
+		t.Fatal("convergence field does not change the spec digest")
+	}
+}

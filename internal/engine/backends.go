@@ -34,7 +34,7 @@ func (somaBackend) Solve(ctx context.Context, req Request, h *Hooks) (*report.Re
 	return solveSoma(ctx, solveInputs{
 		g: g, cfg: cfg, spec: req.spec(), obj: req.Objective, par: req.Params,
 		cache: req.Cache, scope: req.cacheScope(),
-		hooks: h, obs: req.Obs, track: req.track(),
+		hooks: h, obs: req.Obs, track: req.track(), journal: req.Journal,
 	})
 }
 
@@ -57,6 +57,8 @@ type solveInputs struct {
 	// down to the solver (both may be nil).
 	obs   *obs.Obs
 	track *obs.Track
+	// journal optionally collects the sub-solve's convergence trajectory.
+	journal *obs.Journal
 }
 
 // solveSoma runs one soma exploration and assembles its payload. This is the
@@ -72,6 +74,7 @@ func solveSoma(ctx context.Context, in solveInputs) (*report.Result, error) {
 	ex.Progress = progressTap(in.hooks, "soma", in.component, ex.Cache)
 	ex.Reg = in.obs.Registry()
 	ex.Track = in.track
+	ex.Journal = in.journal
 	var span *obs.Span
 	if in.component != "" {
 		// Scenario sub-runs nest their stage spans under a component span.
@@ -112,6 +115,7 @@ func (coccoBackend) Solve(ctx context.Context, req Request, h *Hooks) (*report.R
 	ex.Progress = progressTap(h, "cocco", "", nil)
 	ex.Reg = req.Obs.Registry()
 	ex.Track = req.track()
+	ex.Journal = req.Journal
 	res, err := ex.RunContext(ctx)
 	if err != nil {
 		return nil, err

@@ -70,6 +70,13 @@ type Request struct {
 	// tracer (dse sweep points) must use distinct tracks, since spans
 	// within a track render as one nested timeline.
 	TraceTrack string
+	// Journal optionally collects the run's convergence trajectory (one
+	// obs series per stage/allocator-iteration/chain). Pass-through like
+	// Obs: fixed-seed results are byte-identical with Journal set or nil,
+	// except that successful runs additionally carry a Result.Convergence
+	// section with the journaled series and derived search diagnostics.
+	// For scenario requests only the composed run is journaled.
+	Journal *obs.Journal
 }
 
 // normalized fills Request defaults in place.
@@ -294,19 +301,36 @@ func Run(ctx context.Context, req Request, h *Hooks) (*report.Result, error) {
 		}
 		res.Telemetry = t
 	}
+	if req.Journal != nil {
+		res.Convergence = obs.BuildConvergence(req.Journal, ConvergenceStages(req.Backend)...)
+	}
 	h.Emit(Event{Kind: "done", Backend: req.Backend, Cost: res.Cost})
 	return res, nil
+}
+
+// ConvergenceStages returns the stage-preference order for a backend's
+// convergence-diagnostics winner selection: the stage whose incumbent is the
+// run's final cost comes first. Shared with somad's per-job convergence
+// endpoint so live and final diagnostics agree.
+func ConvergenceStages(backend string) []string {
+	if backend == "cocco" {
+		return []string{"cocco"}
+	}
+	return []string{"stage2", "stage1"}
 }
 
 // Compare runs several backends on one Request (its Backend field is
 // overridden per run), returning results in backend order. Backends run
 // sequentially, so a fixed seed yields the same results as N separate Run
-// calls; an error on any backend aborts the comparison.
+// calls; an error on any backend aborts the comparison. When req.Journal is
+// set, each backend gets its own fresh journal, so every result carries its
+// own Convergence section - side-by-side search diagnostics for tournaments.
 func Compare(ctx context.Context, req Request, backends ...string) ([]*report.Result, error) {
 	out := make([]*report.Result, 0, len(backends))
 	for _, name := range backends {
 		r := req
 		r.Backend = name
+		r.Journal = req.Journal.Fresh()
 		res, err := Run(ctx, r, nil)
 		if err != nil {
 			return nil, fmt.Errorf("engine: backend %s: %w", name, err)

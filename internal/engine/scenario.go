@@ -48,10 +48,14 @@ func solveScenario(ctx context.Context, req Request, h *Hooks) (*report.Result, 
 	spec := report.Spec{Model: ScenarioModelName(sc.Name), Batch: sc.TotalBatch(),
 		HW: req.Platform, Framework: "soma", Seed: req.Params.Seed,
 		Obj: report.Objective{N: req.Objective.N, M: req.Objective.M}}
+	// Only the composed run is journaled: it is the scenario's actual
+	// search, while the isolated per-component runs below are reference
+	// solves whose trajectories would drown it in the report.
 	payload, err := solveSoma(ctx, solveInputs{
 		g: g, cfg: cfg, spec: spec, obj: req.Objective, par: req.Params,
 		cache: cache, scope: fmt.Sprintf("scn:%s|%s|composed|", digest, req.Platform),
 		hooks: h, component: "composed", obs: req.Obs, track: req.track(),
+		journal: req.Journal,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,177 @@
+package obs
+
+import "math"
+
+// ConvergenceSeries is one chain's journaled trajectory as exported JSON:
+// the retained samples plus series-level totals. See Sample for which fields
+// are deterministic under parallel execution.
+type ConvergenceSeries struct {
+	Stage     string `json:"stage"`
+	AllocIter int    `json:"alloc_iter"`
+	Chain     int    `json:"chain"`
+	// Stride is the effective retention stride after any decimation.
+	Stride   int  `json:"stride"`
+	Finished bool `json:"finished"`
+	// BestMove is the 0-based move index of the last incumbent improvement
+	// (meaningful once Finished).
+	BestMove int64 `json:"best_move"`
+	// Moves is the chain's total proposal count; FinalBest its final
+	// incumbent cost (-1 = infeasible or empty).
+	Moves     int64       `json:"moves"`
+	FinalBest float64     `json:"final_best"`
+	Kinds     []KindCount `json:"kinds,omitempty"`
+	Samples   []Sample    `json:"samples"`
+}
+
+// Diagnostics condenses a journal into the search-quality numbers a human
+// (or a backend tournament) compares: where the winning trajectory was, how
+// fast it got close to its final cost, how long it plateaued, and how much
+// the portfolio's chains disagreed. Every field is derived from sampled move
+// counts and costs only - no wall clock - so diagnostics are deterministic
+// for a fixed seed and any worker count.
+type Diagnostics struct {
+	// Stage/AllocIter/Chain locate the winning series (lowest final best
+	// cost within the preferred stage; ties break toward the lowest
+	// allocator iteration, then chain - the annealer's own tie-break).
+	Stage     string `json:"stage"`
+	AllocIter int    `json:"alloc_iter"`
+	Chain     int    `json:"chain"`
+	// FinalBest is the winning series' final incumbent cost (-1 when no
+	// feasible point was ever found).
+	FinalBest float64 `json:"final_best"`
+	// TotalMoves sums proposals across every series in the journal.
+	TotalMoves int64 `json:"total_moves"`
+	// MovesToXPct is the sampled move count at which the winning chain
+	// first came within X% of its final best cost (-1 when unknown, e.g.
+	// an infeasible run). Sampling granularity: the true crossing lies in
+	// the stride-wide window ending at the reported move.
+	MovesTo10Pct int64 `json:"moves_to_10pct"`
+	MovesTo5Pct  int64 `json:"moves_to_5pct"`
+	MovesTo1Pct  int64 `json:"moves_to_1pct"`
+	// PlateauMoves counts the winning chain's moves after its last
+	// improvement - how long the search ran without finding anything
+	// better (-1 when unknown).
+	PlateauMoves int64 `json:"plateau_moves"`
+	// Chains is the number of sibling series (same stage and allocator
+	// iteration as the winner); ChainDispersion is the relative standard
+	// deviation of their feasible final bests (0 for a single chain) - high
+	// dispersion means the portfolio's restarts genuinely explored
+	// different basins.
+	Chains          int     `json:"chains"`
+	ChainDispersion float64 `json:"chain_dispersion"`
+}
+
+// ConvergenceReport is the full journal export: every series plus the
+// derived diagnostics. It is the payload of `soma -convergence-out`, the
+// opt-in report.Result.Convergence section, and somad's
+// GET /v1/jobs/{id}/convergence.
+type ConvergenceReport struct {
+	Series      []ConvergenceSeries `json:"series"`
+	Diagnostics *Diagnostics        `json:"diagnostics,omitempty"`
+}
+
+// BuildConvergence snapshots the journal and computes its diagnostics.
+// prefer lists stage labels in preference order for winner selection (e.g.
+// "stage2", "stage1" for soma: the final cost comes from stage 2); when none
+// of the preferred stages is present every series competes. Nil-safe: a nil
+// journal yields a nil report. Safe to call on a live journal - unfinished
+// series report their trajectory so far.
+func BuildConvergence(j *Journal, prefer ...string) *ConvergenceReport {
+	if j == nil {
+		return nil
+	}
+	rep := &ConvergenceReport{Series: j.snapshotSeries()}
+	if len(rep.Series) == 0 {
+		return rep
+	}
+
+	candidates := rep.Series
+	for _, stage := range prefer {
+		var in []ConvergenceSeries
+		for _, cs := range rep.Series {
+			if cs.Stage == stage {
+				in = append(in, cs)
+			}
+		}
+		if len(in) > 0 {
+			candidates = in
+			break
+		}
+	}
+
+	// cmp orders final bests with -1 (infeasible) worst.
+	better := func(a, b float64) bool {
+		if b < 0 {
+			return a >= 0
+		}
+		return a >= 0 && a < b
+	}
+	win := candidates[0]
+	for _, cs := range candidates[1:] {
+		if better(cs.FinalBest, win.FinalBest) {
+			win = cs
+		}
+	}
+
+	d := &Diagnostics{Stage: win.Stage, AllocIter: win.AllocIter,
+		Chain: win.Chain, FinalBest: win.FinalBest,
+		MovesTo10Pct: -1, MovesTo5Pct: -1, MovesTo1Pct: -1, PlateauMoves: -1}
+	for _, cs := range rep.Series {
+		d.TotalMoves += cs.Moves
+	}
+	if win.FinalBest >= 0 {
+		d.MovesTo10Pct = movesToWithin(win.Samples, win.FinalBest, 0.10)
+		d.MovesTo5Pct = movesToWithin(win.Samples, win.FinalBest, 0.05)
+		d.MovesTo1Pct = movesToWithin(win.Samples, win.FinalBest, 0.01)
+		if plateau := win.Moves - win.BestMove - 1; plateau >= 0 {
+			d.PlateauMoves = plateau
+		}
+	}
+
+	var bests []float64
+	for _, cs := range rep.Series {
+		if cs.Stage == win.Stage && cs.AllocIter == win.AllocIter {
+			d.Chains++
+			if cs.FinalBest >= 0 {
+				bests = append(bests, cs.FinalBest)
+			}
+		}
+	}
+	d.ChainDispersion = relativeStddev(bests)
+	rep.Diagnostics = d
+	return rep
+}
+
+// movesToWithin finds the first sampled move whose incumbent cost is within
+// frac of final (-1 when never, which only happens on empty/infeasible
+// series since the last sample's cost is final itself).
+func movesToWithin(samples []Sample, final, frac float64) int64 {
+	limit := final * (1 + frac)
+	for _, sm := range samples {
+		if sm.BestCost >= 0 && sm.BestCost <= limit {
+			return sm.Move
+		}
+	}
+	return -1
+}
+
+// relativeStddev is the population standard deviation over the mean (0 for
+// fewer than two values or a non-positive mean).
+func relativeStddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean <= 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(ss/float64(len(xs))) / mean
+}

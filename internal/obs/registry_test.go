@@ -68,10 +68,17 @@ zeta_total 3
 	if got != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
+	// The +Inf catch-all must close every histogram series at the total
+	// observation count - asserted explicitly, not just via the golden.
+	if !strings.Contains(got, `delta_seconds_bucket{le="+Inf"} 3`) {
+		t.Error("exposition missing the +Inf bucket at the full count")
+	}
 }
 
 // TestHistogramBucketBoundaries checks the le semantics at the exact bucket
-// bounds: an observation equal to a bound lands in that bound's bucket.
+// bounds: an observation equal to a bound lands in that bound's bucket. Each
+// case diffs full registry snapshots with SnapshotDelta, so the assertion is
+// "exactly this one bucket moved" without hand-copying counter arrays.
 func TestHistogramBucketBoundaries(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("x_seconds", "")
@@ -89,23 +96,48 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 		{math.Inf(1), len(DefaultBuckets)},
 	}
 	for _, c := range cases {
-		before := make([]int64, len(h.counts))
-		for i := range h.counts {
-			before[i] = h.counts[i].Load()
-		}
+		before := r.Snapshot()[0]
 		h.Observe(c.v)
-		for i := range h.counts {
-			want := before[i]
+		d := SnapshotDelta(before, r.Snapshot()[0]).Series[0].Histogram
+		for i, got := range d.Counts {
+			var want int64
 			if i == c.bucket {
-				want++
+				want = 1
 			}
-			if got := h.counts[i].Load(); got != want {
-				t.Errorf("Observe(%g): bucket %d count = %d, want %d", c.v, i, got, want)
+			if got != want {
+				t.Errorf("Observe(%g): bucket %d count delta = %d, want %d", c.v, i, got, want)
 			}
+		}
+		if d.Count != 1 {
+			t.Errorf("Observe(%g): count delta = %d, want 1", c.v, d.Count)
 		}
 	}
 	if h.Count() != int64(len(cases)) {
 		t.Errorf("Count = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+// TestSnapshotDelta covers the series matching rules: values subtract by
+// label signature, series new in b pass through, series gone from b drop.
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", "k", "a").Add(3)
+	before := r.Snapshot()[0]
+	r.Counter("c_total", "", "k", "a").Add(4)
+	r.Counter("c_total", "", "k", "b").Add(9) // appears between snapshots
+	d := SnapshotDelta(before, r.Snapshot()[0])
+	if d.Name != "c_total" || len(d.Series) != 2 {
+		t.Fatalf("delta = %+v, want 2 series", d)
+	}
+	if d.Series[0].Labels != `{k="a"}` || d.Series[0].Value != 4 {
+		t.Errorf("matched series delta = %+v, want 4", d.Series[0])
+	}
+	if d.Series[1].Labels != `{k="b"}` || d.Series[1].Value != 9 {
+		t.Errorf("new series = %+v, want passthrough 9", d.Series[1])
+	}
+	empty := SnapshotDelta(d, MetricSnapshot{Name: "c_total"})
+	if len(empty.Series) != 0 {
+		t.Errorf("dropped series survived: %+v", empty.Series)
 	}
 }
 

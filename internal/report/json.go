@@ -10,6 +10,7 @@ import (
 	"soma/internal/core"
 	"soma/internal/graph"
 	"soma/internal/hw"
+	"soma/internal/obs"
 	"soma/internal/sim"
 	"soma/internal/soma"
 )
@@ -49,6 +50,13 @@ type Result struct {
 	// byte-identical fixed-seed payloads; consumers comparing results
 	// across runs should ignore it.
 	Telemetry *Telemetry `json:"telemetry,omitempty"`
+	// Convergence carries the journaled annealing trajectory and derived
+	// search diagnostics, present only when the run attached a convergence
+	// journal (engine Request.Journal). Unlike Telemetry it contains no
+	// wall clock, so for serial runs the section itself is deterministic
+	// for a fixed seed; it stays opt-in to keep plain payloads small and
+	// byte-identical with journaling off.
+	Convergence *obs.ConvergenceReport `json:"convergence,omitempty"`
 
 	// Raw carries the in-memory artifacts behind the payload for callers
 	// that need more than JSON - trace rendering, ISA lowering, the exp

@@ -6,7 +6,22 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"soma/internal/obs"
 )
+
+// journalSample packs the loop's cumulative counters into one obs.Sample.
+func journalSample(move int64, st Stats, bestCost, curCost, temp float64,
+	incs IncCountSource) obs.Sample {
+	sm := obs.Sample{Move: move, Proposed: int64(st.Iterations),
+		Accepted: int64(st.Accepted), Rejected: int64(st.Rejected),
+		Improved: int64(st.Improved), BestCost: bestCost, CurCost: curCost,
+		Temperature: temp}
+	if incs != nil {
+		sm.IncResumed, sm.IncFallbacks = incs.IncCounts()
+	}
+	return sm
+}
 
 // MoveState is the move-aware face of an annealing problem. Where the
 // classic Run interface clones the whole state per candidate (neighbor +
@@ -34,6 +49,21 @@ type MoveState[S any] interface {
 	Snapshot() S
 }
 
+// MoveKinder is an optional MoveState extension. A state that implements it
+// reports which operator its last productive Propose drew ("order",
+// "move-tensor", ...), letting Config.Journal tally accept/reject counts per
+// move kind. MoveKind is only consulted after Propose returned ok=true.
+type MoveKinder interface {
+	MoveKind() string
+}
+
+// IncCountSource is an optional MoveState extension exposing the incremental
+// evaluator's cumulative resumed/fallback proposal counts (sim.IncStats) so
+// journal samples can track the incremental-vs-fallback ratio over a run.
+type IncCountSource interface {
+	IncCounts() (resumed, fallbacks int64)
+}
+
 // RunMoves anneals a MoveState with the paper's acceptance rule and cooling
 // schedule. It is the engine underneath Run/RunCtx: both interfaces draw
 // the same rng sequence under the same Config, so migrating a caller from
@@ -49,6 +79,22 @@ func RunMovesCtx[S any](ctx context.Context, cfg Config, ms MoveState[S]) (S, fl
 	curCost := ms.InitCost()
 	best, bestCost := ms.Snapshot(), curCost
 	var st Stats
+
+	// Journal setup: resolved once, outside the hot loop. The journal only
+	// ever reads values the loop already computes - it never touches rng or
+	// steering state, which is what keeps fixed-seed runs byte-identical
+	// with it on or off.
+	jr := cfg.Journal
+	var jstride int64
+	var kinder MoveKinder
+	var incs IncCountSource
+	if jr != nil {
+		jstride = int64(jr.SampleStride())
+		kinder, _ = ms.(MoveKinder)
+		incs, _ = ms.(IncCountSource)
+		jr.Record(journalSample(0, st, bestCost, curCost,
+			Temperature(cfg.T0, cfg.Alpha, 0, cfg.Iters), incs))
+	}
 
 	var deadline time.Time
 	if cfg.Deadline > 0 {
@@ -72,44 +118,55 @@ func RunMovesCtx[S any](ctx context.Context, cfg Config, ms MoveState[S]) (S, fl
 		}
 		st.Iterations++
 		cc, ok := ms.Propose(rng)
-		if !ok {
-			continue
-		}
-		accept := false
-		switch {
-		case cc <= curCost:
-			accept = true
-		case math.IsInf(curCost, 1):
-			accept = !math.IsInf(cc, 1)
-		case improveOnly || math.IsInf(cc, 1):
-			accept = false
-		default:
-			temp := Temperature(cfg.T0, cfg.Alpha, n, cfg.Iters)
-			if temp > 0 {
-				p := math.Exp((curCost - cc) / (curCost * temp))
-				accept = rng.Float64() < p
+		if ok {
+			accept := false
+			switch {
+			case cc <= curCost:
+				accept = true
+			case math.IsInf(curCost, 1):
+				accept = !math.IsInf(cc, 1)
+			case improveOnly || math.IsInf(cc, 1):
+				accept = false
+			default:
+				temp := Temperature(cfg.T0, cfg.Alpha, n, cfg.Iters)
+				if temp > 0 {
+					p := math.Exp((curCost - cc) / (curCost * temp))
+					accept = rng.Float64() < p
+				}
+			}
+			if accept {
+				st.Accepted++
+				ms.Accept()
+				curCost = cc
+				if curCost < bestCost {
+					best, bestCost = ms.Snapshot(), curCost
+					st.Improved++
+					st.BestIter = n
+					if cfg.OnImprove != nil {
+						cfg.OnImprove(n, bestCost)
+					}
+					if tel := cfg.Telemetry; tel != nil {
+						tel.BestCost.Set(bestCost)
+						tel.Temp.Set(Temperature(cfg.T0, cfg.Alpha, n, cfg.Iters))
+					}
+				}
+			} else {
+				st.Rejected++
+				ms.Reject()
+			}
+			if jr != nil && kinder != nil {
+				jr.MoveOutcome(kinder.MoveKind(), accept)
 			}
 		}
-		if !accept {
-			st.Rejected++
-			ms.Reject()
-			continue
+		if jr != nil && jstride > 0 && int64(st.Iterations)%jstride == 0 {
+			jr.Record(journalSample(int64(st.Iterations), st, bestCost, curCost,
+				Temperature(cfg.T0, cfg.Alpha, n+1, cfg.Iters), incs))
 		}
-		st.Accepted++
-		ms.Accept()
-		curCost = cc
-		if curCost < bestCost {
-			best, bestCost = ms.Snapshot(), curCost
-			st.Improved++
-			st.BestIter = n
-			if cfg.OnImprove != nil {
-				cfg.OnImprove(n, bestCost)
-			}
-			if tel := cfg.Telemetry; tel != nil {
-				tel.BestCost.Set(bestCost)
-				tel.Temp.Set(Temperature(cfg.T0, cfg.Alpha, n, cfg.Iters))
-			}
-		}
+	}
+	if jr != nil {
+		jr.Finish(journalSample(int64(st.Iterations), st, bestCost, curCost,
+			Temperature(cfg.T0, cfg.Alpha, st.Iterations, cfg.Iters), incs),
+			int64(st.BestIter))
 	}
 	if tel := cfg.Telemetry; tel != nil {
 		// Bulk-add once per chain so the hot loop pays no atomics.
@@ -145,6 +202,9 @@ func RunMovesPortfolioCtx[S any](ctx context.Context, cfg Config, pf PortfolioCo
 		if pf.OnImprove != nil {
 			cfg.OnImprove = func(iter int, c float64) { pf.OnImprove(0, iter, c) }
 		}
+		if pf.Journal != nil {
+			cfg.Journal = pf.Journal(0)
+		}
 		best, bestCost, st := RunMovesCtx(ctx, cfg, newState(0))
 		return best, bestCost, PortfolioStats{
 			Total: st, Chains: 1, Workers: 1, PerChain: []Stats{st}}
@@ -159,19 +219,25 @@ func RunMovesPortfolioCtx[S any](ctx context.Context, cfg Config, pf PortfolioCo
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, pf.Workers)
 	for c := 0; c < pf.Chains; c++ {
+		// Per-chain configs are derived on the caller's goroutine so journal
+		// series come into existence in chain order, not pool-schedule order.
+		chainCfg := cfg
+		chainCfg.Seed = cfg.Seed + int64(c)
+		if pf.OnImprove != nil {
+			chain := c
+			chainCfg.OnImprove = func(iter int, bc float64) { pf.OnImprove(chain, iter, bc) }
+		}
+		if pf.Journal != nil {
+			chainCfg.Journal = pf.Journal(c)
+		}
 		wg.Add(1)
-		go func(c int) {
+		go func(c int, chainCfg Config) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			chainCfg := cfg
-			chainCfg.Seed = cfg.Seed + int64(c)
-			if pf.OnImprove != nil {
-				chainCfg.OnImprove = func(iter int, bc float64) { pf.OnImprove(c, iter, bc) }
-			}
 			best, bc, st := RunMovesCtx(ctx, chainCfg, newState(c))
 			results[c] = outcome{best: best, cost: bc, st: st}
-		}(c)
+		}(c, chainCfg)
 	}
 	wg.Wait()
 

@@ -3,6 +3,8 @@ package sa
 import (
 	"context"
 	"math/rand"
+
+	"soma/internal/obs"
 )
 
 // PortfolioConfig sizes a portfolio run: Chains independent annealing chains
@@ -22,6 +24,12 @@ type PortfolioConfig struct {
 	// calls may arrive interleaved from multiple goroutines; the callback
 	// must be safe for concurrent use and must not influence the search.
 	OnImprove func(chain, iter int, cost float64)
+	// Journal, when non-nil, hands each chain its own convergence series
+	// (Config.Journal for chain c is Journal(c)). It is called once per
+	// chain before the chain goroutines start, so obs.Journal.Series
+	// creation order stays deterministic; a nil return disables journaling
+	// for that chain.
+	Journal func(chain int) *obs.Series
 }
 
 func (p PortfolioConfig) normalized() PortfolioConfig {

@@ -32,6 +32,13 @@ type Config struct {
 	// are set on incumbent improvements (rare), so the hot loop pays
 	// nothing.
 	Telemetry *Telemetry
+	// Journal, when non-nil, receives this chain's convergence trajectory:
+	// a sample of the run's cumulative counters, costs and temperature every
+	// Journal.SampleStride() moves, plus per-operator accept/reject tallies
+	// when the MoveState implements MoveKinder. Pass-through only, like
+	// Telemetry: it never draws from the rng or alters control flow, so
+	// fixed-seed results are byte-identical with or without it.
+	Journal *obs.Series
 }
 
 // Telemetry is the annealer's bundle of obs instruments. Fields may be nil

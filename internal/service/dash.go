@@ -1,0 +1,23 @@
+package service
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashHTML is the whole dashboard: one static page whose inline script polls
+// the JSON API (/v1/stats for the metrics-registry snapshot, /v1/jobs, and
+// per-job /convergence) and follows the newest running job's SSE stream. No
+// build step, no external assets, no server-side rendering - the page is a
+// plain API client, so it can never disagree with what the API serves.
+//
+//go:embed dash.html
+var dashHTML []byte
+
+// handleDash is GET /debug/dash: the live service dashboard (queue and
+// worker occupancy, per-backend solve latency, recent jobs with convergence
+// sparklines, and the newest running job's event stream).
+func (s *Server) handleDash(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(dashHTML)
+}

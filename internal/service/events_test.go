@@ -2,10 +2,13 @@ package service
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -173,5 +176,124 @@ func TestBackendsEndpoint(t *testing.T) {
 		if !found {
 			t.Errorf("backend %q missing from %v", want, names)
 		}
+	}
+}
+
+// TestEventLogParkedReader: a reader blocked on the notify channel never
+// applies backpressure to the producer - appends proceed unbounded while the
+// reader is parked, and one wake-up later the reader drains everything.
+func TestEventLogParkedReader(t *testing.T) {
+	l := newEventLog()
+	evs, closed, wait := l.since(0)
+	if len(evs) != 0 || closed {
+		t.Fatalf("fresh log: %d events, closed %v", len(evs), closed)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		l.append(engine.Event{Seq: i, Kind: "improve"})
+	}
+	select {
+	case <-wait:
+	default:
+		t.Fatal("parked reader was not woken by the first append")
+	}
+	evs, closed, _ = l.since(0)
+	if len(evs) != n || closed {
+		t.Fatalf("drain: %d events (want %d), closed %v", len(evs), n, closed)
+	}
+	l.close()
+	l.append(engine.Event{Seq: n}) // dropped: the stream is complete
+	evs, closed, _ = l.since(n)
+	if len(evs) != 0 || !closed {
+		t.Fatalf("after close: %d new events, closed %v", len(evs), closed)
+	}
+	l.close() // idempotent
+}
+
+// TestEventsSlowConsumerDoesNotBlockJob: a connected stream that never reads
+// must not stall the solver or other consumers - the log buffers per job, so
+// the fast reader sees the complete stream and the job finishes while the
+// slow connection still holds its socket open.
+func TestEventsSlowConsumerDoesNotBlockJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	v := submit(t, ts, smallJob(31))
+
+	slow := openStream(t, ts, v.ID)
+	defer slow.Body.Close() // never read from it
+
+	frames := readSSE(t, openStream(t, ts, v.ID), 0)
+	if len(frames) < 3 || frames[len(frames)-1].event != "end" {
+		t.Fatalf("fast reader got %d frames, want a complete stream", len(frames))
+	}
+	got := pollUntil(t, ts, v.ID, time.Minute, terminal)
+	if got.State != StateDone {
+		t.Fatalf("job finished %q, want done despite the unread stream", got.State)
+	}
+}
+
+// sseRecorder is a concurrency-safe ResponseWriter+Flusher for driving the
+// SSE handler directly (httptest.ResponseRecorder is not safe to read while
+// the handler writes).
+type sseRecorder struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	header http.Header
+}
+
+func (w *sseRecorder) Header() http.Header {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+func (w *sseRecorder) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+func (w *sseRecorder) WriteHeader(int) {}
+func (w *sseRecorder) Flush()          {}
+func (w *sseRecorder) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Len()
+}
+
+// TestEventsHandlerReturnsOnDisconnect: when the client goes away mid-stream,
+// the handler goroutine unblocks on the request context and returns - no
+// goroutine is left parked on a running job's event log.
+func TestEventsHandlerReturnsOnDisconnect(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+	v := submit(t, ts, bigJob())
+	pollUntil(t, ts, v.ID, time.Minute, func(v View) bool { return v.State == StateRunning })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+v.ID+"/events", nil).WithContext(ctx)
+	rec := &sseRecorder{}
+	returned := make(chan struct{})
+	go func() {
+		svc.Handler().ServeHTTP(rec, req)
+		close(returned)
+	}()
+
+	// Wait until the handler has streamed at least the start frame, proving
+	// it is parked on the live log, then sever the connection.
+	deadline := time.Now().Add(time.Minute)
+	for rec.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("handler never streamed a frame")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-returned:
+	case <-time.After(time.Minute):
+		t.Fatal("handler did not return after client disconnect")
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel: status %d", code)
 	}
 }

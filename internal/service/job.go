@@ -177,6 +177,12 @@ type Job struct {
 	// Created at submission, so reading a running job serves the partial
 	// trace; the tracer itself is concurrency-safe.
 	tracer *obs.Tracer
+	// journal collects the job's annealing trajectory for
+	// GET /v1/jobs/{id}/convergence (plain jobs only - sweep rows carry
+	// their own diagnostics summaries instead). Created at submission like
+	// the tracer, so a running job serves its live partial trajectory; the
+	// journal decimates itself to a bounded sample count per chain.
+	journal *obs.Journal
 }
 
 // View is the JSON shape of a job served by the API. Plain jobs carry

@@ -169,6 +169,7 @@ func (s *Server) runJob(id string) {
 		s.runSweepJob(ctx, id, *in.sweep, hooks, o)
 		return
 	}
+	in.req.Journal, _, _ = s.store.Convergence(id)
 	res, err := s.execute(ctx, in, hooks, o)
 	s.countJob(in.req.Backend, err)
 	switch {
@@ -179,7 +180,11 @@ func (s *Server) runJob(id string) {
 		// them: it is wall-clock measurement, and dropping it keeps a
 		// fixed-seed job's stored payload byte-identical to `soma -json`
 		// (the wall times still reach /metrics and the job's trace).
-		res.Raw, res.Telemetry = nil, nil
+		// Convergence goes the same way: the trajectory has its own
+		// endpoint (GET /v1/jobs/{id}/convergence), and its samples carry
+		// cache-warmth-dependent incremental counters that would break the
+		// stored payload's byte-identity guarantee.
+		res.Raw, res.Telemetry, res.Convergence = nil, nil, nil
 		if res.Scenario != nil {
 			for i := range res.Scenario.Components {
 				if iso := res.Scenario.Components[i].Isolated; iso != nil {
@@ -271,6 +276,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/convergence", s.handleConvergence)
 	// Ops endpoints (docs/observability.md): Prometheus exposition plus the
 	// stdlib profiling and expvar handlers. They live on the API mux, so a
 	// single listener serves both planes; deployments that want them off the
@@ -282,6 +288,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/dash", s.handleDash)
 	s.mux = mux
 }
 
@@ -375,9 +382,33 @@ func labelValue(sig, key string) (string, bool) {
 }
 
 // handleMetrics is GET /metrics: the registry in Prometheus text exposition.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// HEAD (matched by the same GET route pattern) serves the headers only, so
+// scrape-endpoint probes cost no exposition rendering.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r.Method == http.MethodHead {
+		return
+	}
 	_ = s.reg.WritePrometheus(w)
+}
+
+// handleConvergence is GET /v1/jobs/{id}/convergence: the job's annealing
+// trajectory and derived search diagnostics (obs.ConvergenceReport). Running
+// jobs serve the live partial trajectory - the dashboard polls this for its
+// sparklines - and finished jobs the sealed one. Sweep jobs 404: their rows
+// carry per-point diagnostics summaries in the sweep result instead.
+func (s *Server) handleConvergence(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	jnl, backend, ok := s.store.Convergence(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	if jnl == nil {
+		writeError(w, http.StatusNotFound, "no convergence journal for "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, obs.BuildConvergence(jnl, engine.ConvergenceStages(backend)...))
 }
 
 // handleTrace serves a job's span trace as Chrome trace-event JSON

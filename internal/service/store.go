@@ -80,6 +80,9 @@ func (st *Store) Add(req Request, in runInputs) View {
 		events:  newEventLog(),
 		tracer:  obs.NewTracer(),
 	}
+	if in.sweep == nil {
+		j.journal = obs.NewJournal()
+	}
 	st.jobs[j.ID] = j
 	st.order = append(st.order, j.ID)
 	st.evict()
@@ -231,6 +234,21 @@ func (st *Store) Trace(id string) (*obs.Tracer, bool) {
 		return nil, false
 	}
 	return j.tracer, true
+}
+
+// Convergence exposes a job's convergence journal and its backend name (for
+// stage-preference selection); ok is false for unknown IDs, and the journal
+// is nil for sweep jobs (their rows carry per-point diagnostics instead).
+// Like the tracer, the journal is live from submission, so reading a running
+// job serves the trajectory collected so far.
+func (st *Store) Convergence(id string) (jnl *obs.Journal, backend string, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, found := st.jobs[id]
+	if !found {
+		return nil, "", false
+	}
+	return j.journal, j.in.req.Backend, true
 }
 
 // Events exposes a job's progress-event log; ok is false for unknown IDs.

@@ -176,6 +176,11 @@ type Explorer struct {
 	// Track, when non-nil, is the trace track this explorer's stage spans
 	// and best-cost counter samples land on.
 	Track *obs.Track
+	// Journal, when non-nil, collects each annealing chain's convergence
+	// trajectory: one obs series per (stage, allocator iteration, chain).
+	// Like Reg it is pass-through observation only - fixed-seed results are
+	// byte-identical with or without it.
+	Journal *obs.Journal
 	// allocIter is the 1-based Buffer Allocator iteration currently
 	// running, tagged onto progress events. RunContext writes it strictly
 	// between RunOnce calls, so concurrent chain callbacks only ever read a
@@ -196,6 +201,16 @@ func New(g *graph.Graph, cfg hw.Config, obj Objective, par Params) *Explorer {
 // portfolio normalizes the Params' portfolio knobs.
 func (e *Explorer) portfolio() sa.PortfolioConfig {
 	return sa.PortfolioConfig{Chains: e.Par.Chains, Workers: e.Par.Workers}
+}
+
+// stageJournal hands a stage's portfolio each chain's convergence series,
+// keyed by the current allocator iteration; nil when journaling is off.
+func (e *Explorer) stageJournal(stage string) func(int) *obs.Series {
+	if e.Journal == nil {
+		return nil
+	}
+	j, iter := e.Journal, e.allocIter
+	return func(chain int) *obs.Series { return j.Series(stage, iter, chain) }
 }
 
 // cost evaluates a schedule under a stage budget, returning +Inf for

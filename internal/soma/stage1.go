@@ -64,9 +64,15 @@ func (e *Explorer) RunStage1(ctx context.Context, budget int64, seed int64) (*co
 		Telemetry: sa.NewTelemetry(e.Reg, "stage1")}
 	pf := e.portfolio()
 	pf.OnImprove = e.improveHook("stage1")
-	best, bestCost, stats := sa.RunPortfolioCtx(ctx, cfg, pf, init, costEnc, func(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
-		return e.mutateLFA(enc, rng)
-	})
+	pf.Journal = e.stageJournal("stage1")
+	best, bestCost, stats := sa.RunMovesPortfolioCtx[*core.Encoding](ctx, cfg, pf,
+		func(int) sa.MoveState[*core.Encoding] {
+			// Encodings are value-like (mutateLFAKind clones before
+			// mutating), so every chain may start from the shared init; each
+			// adapter instance is still private to its chain. The rng draw
+			// order is exactly the historical clone interface's.
+			return &lfaMoves{e: e, cur: init, cost: costEnc}
+		})
 	if err := ctx.Err(); err != nil {
 		return nil, StageResult{}, err
 	}
@@ -85,16 +91,45 @@ func (e *Explorer) RunStage1(ctx context.Context, budget int64, seed int64) (*co
 	return best, StageResult{Metrics: m, Cost: c, Stats: stats}, nil
 }
 
-// mutateLFA applies one random LFA operator to a clone of enc.
-func (e *Explorer) mutateLFA(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, bool) {
+// lfaMoves adapts the stage-1 clone-per-candidate mutator to the move-aware
+// annealer, tagging each productive proposal with its operator kind for the
+// convergence journal. Its rng draw sequence is exactly the historical clone
+// interface's (the operator's draws, then the annealer's acceptance draw),
+// so fixed-seed results are byte-stable across the switch.
+type lfaMoves struct {
+	e         *Explorer
+	cur, cand *core.Encoding
+	cost      func(*core.Encoding) float64
+	kind      string
+}
+
+func (m *lfaMoves) InitCost() float64 { return m.cost(m.cur) }
+
+func (m *lfaMoves) Propose(rng *rand.Rand) (float64, bool) {
+	cand, kind, ok := m.e.mutateLFAKind(m.cur, rng)
+	if !ok {
+		return 0, false
+	}
+	m.cand, m.kind = cand, kind
+	return m.cost(cand), true
+}
+
+func (m *lfaMoves) Accept()                  { m.cur = m.cand }
+func (m *lfaMoves) Reject()                  {}
+func (m *lfaMoves) Snapshot() *core.Encoding { return m.cur }
+func (m *lfaMoves) MoveKind() string         { return m.kind }
+
+// mutateLFAKind applies one random LFA operator to a clone of enc, also
+// naming the operator drawn (the journal's per-kind accept/reject tallies).
+func (e *Explorer) mutateLFAKind(enc *core.Encoding, rng *rand.Rand) (*core.Encoding, string, bool) {
 	c := enc.Clone()
 	n := len(c.Order)
 	switch rng.Intn(5) {
 	case 0: // Change Computing Order: move a random layer somewhere legal.
-		return c, c.MoveLayer(e.G, rng.Intn(n), rng.Intn(n))
+		return c, "order", c.MoveLayer(e.G, rng.Intn(n), rng.Intn(n))
 	case 1: // Change Tiling Number: x2 or /2 on a random FLG.
 		if e.Par.Ablate.NoTiling {
-			return c, false
+			return c, "tile", false
 		}
 		f := rng.Intn(c.NumFLGs())
 		if rng.Intn(2) == 0 {
@@ -102,15 +137,15 @@ func (e *Explorer) mutateLFA(enc *core.Encoding, rng *rand.Rand) (*core.Encoding
 			// Cap at the FLG's realizable tile count to keep the
 			// space bounded.
 			if c.Tile[f] > maxTiles(e, c, f) {
-				return c, false
+				return c, "tile", false
 			}
 		} else {
 			if c.Tile[f] <= 1 {
-				return c, false
+				return c, "tile", false
 			}
 			c.Tile[f] /= 2
 		}
-		return c, true
+		return c, "tile", true
 	case 2: // Add an FLC at a random uncut position.
 		p := 1 + rng.Intn(n-1)
 		ok := c.AddFLC(p)
@@ -122,11 +157,11 @@ func (e *Explorer) mutateLFA(enc *core.Encoding, rng *rand.Rand) (*core.Encoding
 				}
 			}
 		}
-		return c, ok
+		return c, "add-flc", ok
 	case 3: // Delete an FLC; the merged FLG inherits a tiling number
 		// probabilistically by layer-count ratio (paper rule).
 		if len(c.FLCs) == 0 {
-			return c, false
+			return c, "del-flc", false
 		}
 		i := rng.Intn(len(c.FLCs))
 		loA, hiA := c.FLGBounds(i)
@@ -136,14 +171,14 @@ func (e *Explorer) mutateLFA(enc *core.Encoding, rng *rand.Rand) (*core.Encoding
 			tile = c.Tile[i+1]
 		}
 		_ = loB
-		return c, c.RemoveFLC(i, tile)
+		return c, "del-flc", c.RemoveFLC(i, tile)
 	default: // Add/Delete a DRAM cut (the added one must be an FLC).
 		if len(c.FLCs) == 0 || e.Par.Ablate.NoFLC {
-			return c, false
+			return c, "dram-cut", false
 		}
 		i := rng.Intn(len(c.FLCs))
 		c.IsDRAM[i] = !c.IsDRAM[i]
-		return c, true
+		return c, "dram-cut", true
 	}
 }
 

@@ -50,6 +50,7 @@ func (e *Explorer) RunStage2(ctx context.Context, sched *core.Schedule, seed int
 		Telemetry: sa.NewTelemetry(e.Reg, "stage2")}
 	pf := e.portfolio()
 	pf.OnImprove = e.improveHook("stage2")
+	pf.Journal = e.stageJournal("stage2")
 	incTel := sim.NewIncTelemetry(e.Reg)
 	best, bestCost, stats := sa.RunMovesPortfolioCtx[*core.Schedule](ctx, cfg, pf,
 		func(int) sa.MoveState[*core.Schedule] {
@@ -74,6 +75,9 @@ type stage2Moves struct {
 	picker *sizePicker
 	inc    *sim.Incremental
 	budget int64
+	// kind names the operator the last productive Propose drew, for the
+	// convergence journal's per-kind tallies (sa.MoveKinder).
+	kind string
 }
 
 func newStage2Moves(e *Explorer, s *core.Schedule, picker *sizePicker, tc *sim.TileCosts,
@@ -122,8 +126,10 @@ func (ms *stage2Moves) Propose(rng *rand.Rand) (float64, bool) {
 	ok := false
 	if rng.Intn(2) == 0 {
 		// Change DRAM Tensor Order: move the tensor elsewhere.
+		ms.kind = "move-tensor"
 		ok = ms.inc.MoveTensor(ms.inc.PosOf(id), rng.Intn(len(s.Order)))
 	} else {
+		ms.kind = "duration"
 		// Change Living Duration: jitter Start (loads) or End (stores).
 		// The jitter span scales with the schedule length so prefetches
 		// can reach far-away DRAM-idle windows on large tile sequences.
@@ -150,6 +156,19 @@ func (ms *stage2Moves) Propose(rng *rand.Rand) (float64, bool) {
 
 func (ms *stage2Moves) Accept() { ms.inc.Accept() }
 func (ms *stage2Moves) Reject() { ms.inc.Reject() }
+
+// MoveKind implements sa.MoveKinder for the convergence journal.
+func (ms *stage2Moves) MoveKind() string { return ms.kind }
+
+// IncCounts implements sa.IncCountSource: the incremental evaluator's
+// cumulative resumed/fallback proposal counts, journaled so convergence
+// samples carry the incremental-vs-fallback ratio over the run. The split
+// depends on shared-cache warmth, so it is deterministic only for serial
+// runs (the counters never steer the search either way).
+func (ms *stage2Moves) IncCounts() (resumed, fallbacks int64) {
+	st := ms.inc.Stats()
+	return st.Resumed, st.Fallbacks
+}
 
 // Snapshot clones the live schedule: the annealer retains it as the
 // incumbent while the state keeps mutating.
