@@ -14,6 +14,7 @@
 //	soma -scenario multi-tenant-cnn -json
 //	soma -scenario my_mix.json -profile fast
 //	soma -sweep grid.json -journal grid.jsonl -progress
+//	soma -sweep grid.json -journal grid.jsonl -workers host1:8844,host2:8844
 //	soma -model resnet50 -telemetry            # search metrics on stderr
 //	soma -model resnet50 -convergence-out c.json # annealing trajectory + diagnostics
 //	soma -sweep grid.json -trace-out grid.json # Perfetto trace of the sweep
@@ -26,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"soma/internal/core"
@@ -52,7 +54,7 @@ func main() {
 	framework := flag.String("framework", "soma", "scheduler backend: "+strings.Join(engine.Backends(), "|"))
 	seed := flag.Int64("seed", 1, "search seed")
 	chains := flag.Int("chains", 0, "portfolio chains per annealing stage (<=1 = serial)")
-	workers := flag.Int("workers", 0, "goroutines running portfolio chains (<=1 = serial; result is identical for any value)")
+	workers := flag.String("workers", "0", "goroutines running portfolio chains (<=1 = serial; result is identical for any value); with -sweep, a comma-separated somad worker address list shards the grid across a cluster instead")
 	beta1 := flag.Int("beta1", 0, "override stage-1 iteration multiplier")
 	beta2 := flag.Int("beta2", 0, "override stage-2 iteration multiplier")
 	objN := flag.Float64("energy-exp", 1, "objective exponent n in Energy^n x Delay^m")
@@ -91,7 +93,21 @@ func main() {
 	}
 	par.Seed = *seed
 	par.Chains = *chains
-	par.Workers = *workers
+	// -workers is overloaded: a plain integer is the portfolio worker
+	// count; anything else is a cluster worker address list (sweeps only).
+	var clusterWorkers []string
+	if n, err := strconv.Atoi(strings.TrimSpace(*workers)); err == nil {
+		par.Workers = n
+	} else {
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				clusterWorkers = append(clusterWorkers, a)
+			}
+		}
+		if len(clusterWorkers) == 0 {
+			fatal(fmt.Errorf("-workers wants a number or a worker address list, got %q", *workers))
+		}
+	}
 	if *beta1 > 0 {
 		par.Beta1 = *beta1
 	}
@@ -124,16 +140,25 @@ func main() {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "sweep", "journal", "json", "progress", "telemetry", "trace-out":
+			case "workers":
+				// Allowed only in its cluster-address-list form: a numeric
+				// -workers is a search parameter the spec owns.
+				if clusterWorkers == nil {
+					fatal(fmt.Errorf("-sweep specs declare their own axes and parameters; numeric -%s is not allowed (a worker address list shards the sweep)", f.Name))
+				}
 			default:
 				fatal(fmt.Errorf("-sweep specs declare their own axes and parameters; -%s is not allowed", f.Name))
 			}
 		})
-		runSweep(*sweep, *journal, *jsonOut, hooks, o)
+		runSweep(*sweep, *journal, *jsonOut, clusterWorkers, hooks, o)
 		flushObs(o, *telemetry, *traceOut)
 		return
 	}
 	if *journal != "" {
 		fatal(fmt.Errorf("-journal applies to -sweep runs only"))
+	}
+	if clusterWorkers != nil {
+		fatal(fmt.Errorf("a -workers address list applies to -sweep runs only"))
 	}
 
 	if *scenario != "" {

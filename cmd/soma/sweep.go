@@ -3,20 +3,26 @@ package main
 import (
 	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
+	"soma/internal/cluster"
 	"soma/internal/dse"
 	"soma/internal/engine"
 	"soma/internal/obs"
 	"soma/internal/report"
+	"soma/internal/sim"
 )
 
 // runSweep is the -sweep flow: parse the declarative grid spec, execute it
 // through the dse runner (checkpointing to -journal when given, resuming
 // automatically from a committed prefix), and report the rows plus the
-// sweep-level aggregates. The JSONL journal is the canonical byte-comparable
-// artifact - identical for any worker count and across interruptions.
-func runSweep(path, journal string, jsonOut bool, hooks *engine.Hooks, o *obs.Obs) {
+// sweep-level aggregates. With a worker address list the grid shards across
+// the cluster instead (docs/cluster.md). The JSONL journal is the canonical
+// byte-comparable artifact - identical for any worker count, serial or
+// sharded, and across interruptions.
+func runSweep(path, journal string, jsonOut bool, clusterWorkers []string, hooks *engine.Hooks, o *obs.Obs) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -25,7 +31,12 @@ func runSweep(path, journal string, jsonOut bool, hooks *engine.Hooks, o *obs.Ob
 	if err != nil {
 		fatal(err)
 	}
-	out, err := dse.Run(context.Background(), sw, dse.Options{Journal: journal, Hooks: hooks, Obs: o})
+	var out *dse.Outcome
+	if len(clusterWorkers) > 0 {
+		out, err = runClusterSweep(sw, journal, clusterWorkers, hooks, o)
+	} else {
+		out, err = dse.Run(context.Background(), sw, dse.Options{Journal: journal, Hooks: hooks, Obs: o})
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -40,6 +51,34 @@ func runSweep(path, journal string, jsonOut bool, hooks *engine.Hooks, o *obs.Ob
 		return
 	}
 	printSweepReport(out)
+}
+
+// runClusterSweep coordinates one sharded sweep: it hosts an ephemeral
+// remote-cache listener (the workers' L2, sharing the coordinator's own
+// cache) and dispatches leases to the given somad workers. Unreachable
+// workers degrade to plain local execution inside cluster.Run.
+func runClusterSweep(sw dse.Sweep, journal string, workers []string, hooks *engine.Hooks, o *obs.Obs) (*dse.Outcome, error) {
+	cache := sim.NewCache(0)
+	opt := cluster.Options{
+		Workers: workers, Cache: cache,
+		Journal: journal, Hooks: hooks, Obs: o,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	// The L2 listener binds loopback: local workers (the 1-coordinator +
+	// N-worker quickstart) share evaluations through it, remote workers
+	// simply run L1-only - their Remote clients trip the breaker and the
+	// sweep proceeds unshared, never unfinished.
+	if ln, err := net.Listen("tcp", "127.0.0.1:0"); err == nil {
+		mux := http.NewServeMux()
+		cluster.NewCacheServer(cache).Mount(mux)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		opt.CacheURL = "http://" + ln.Addr().String()
+	}
+	return cluster.Run(context.Background(), sw, opt)
 }
 
 func printSweepReport(out *dse.Outcome) {

@@ -9,6 +9,16 @@
 //	somad -addr 127.0.0.1:9000 -workers 4
 //	somad -cache-entries 1048576            # bigger shared eval cache
 //
+// Cluster mode (docs/cluster.md): start N workers with -worker, then point a
+// coordinator at them - its sweep jobs shard across the workers and merge
+// back into journals byte-identical to single-process runs:
+//
+//	somad -addr 127.0.0.1:8871 -worker
+//	somad -addr 127.0.0.1:8872 -worker
+//	somad -addr 127.0.0.1:8844 \
+//	  -cluster-workers 127.0.0.1:8871,127.0.0.1:8872 \
+//	  -advertise http://127.0.0.1:8844
+//
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	  -d '{"model":"resnet50","batch":1,"hw":"edge","params":{"profile":"fast"}}'
@@ -39,6 +49,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,18 +59,37 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 1, "concurrent search jobs")
+	workers := flag.String("workers", "1", "concurrent search jobs (a number), or comma-separated cluster worker addresses to shard sweep jobs across")
 	queue := flag.Int("queue", 64, "max queued jobs before submits get 503")
 	cacheEntries := flag.Int("cache-entries", 0, "shared evaluation cache capacity (0 = default)")
 	maxJobs := flag.Int("max-jobs", 0, "job-table retention bound; oldest finished jobs are evicted beyond it (0 = default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	worker := flag.Bool("worker", false, "serve cluster lease execution (this somad computes sweep points for a remote coordinator)")
+	advertise := flag.String("advertise", "", "this coordinator's reachable base URL, used by workers as their remote evaluation-cache tier")
 	flag.Parse()
 
+	// -workers is overloaded the same way soma's is: a plain integer sizes
+	// the job worker pool; anything else is a cluster worker address list.
+	poolWorkers := 1
+	var workerList []string
+	if n, err := strconv.Atoi(strings.TrimSpace(*workers)); err == nil {
+		poolWorkers = n
+	} else {
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				workerList = append(workerList, a)
+			}
+		}
+	}
+
 	svc := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEntries,
-		MaxJobs:      *maxJobs,
+		Workers:        poolWorkers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		MaxJobs:        *maxJobs,
+		ClusterWorker:  *worker,
+		ClusterWorkers: workerList,
+		Advertise:      *advertise,
 	})
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
@@ -67,7 +98,14 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("somad listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	mode := ""
+	if *worker {
+		mode = ", cluster worker"
+	}
+	if len(workerList) > 0 {
+		mode = fmt.Sprintf(", coordinating %d cluster workers", len(workerList))
+	}
+	log.Printf("somad listening on %s (%d workers, queue %d%s)", *addr, poolWorkers, *queue, mode)
 
 	select {
 	case <-ctx.Done():

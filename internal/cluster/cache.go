@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soma/internal/obs"
+	"soma/internal/sim"
+)
+
+// CacheServer exposes a sim.EvalCache tier over HTTP - the coordinator hosts
+// one backed by its own in-process cache, making it the cluster-wide L2
+// behind every worker's local L1. Error entries are withheld: a lookup whose
+// cached outcome was a failure reports "not found", keeping failures
+// worker-local where they are cheap to recompute.
+type CacheServer struct {
+	cache sim.EvalCache
+
+	// gets/hits count the remote-facing traffic (as opposed to the backing
+	// cache's own counters, which also see coordinator-local lookups).
+	gets, hits, puts atomic.Int64
+}
+
+// NewCacheServer serves c remotely. The backing cache is typically the same
+// one the coordinator's local fallback evaluations use, so local and remote
+// work share one entry pool.
+func NewCacheServer(c sim.EvalCache) *CacheServer {
+	return &CacheServer{cache: c}
+}
+
+// Mount registers the cache endpoints on mux.
+func (s *CacheServer) Mount(mux *http.ServeMux) {
+	mux.HandleFunc(PathCacheGet, s.handleGet)
+	mux.HandleFunc(PathCachePut, s.handlePut)
+}
+
+func (s *CacheServer) handleGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req CacheGetRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return
+	}
+	s.gets.Add(1)
+	resp := CacheGetResponse{}
+	if m, err, ok := s.cache.Get(string(req.Key)); ok && err == nil && m != nil {
+		s.hits.Add(1)
+		resp.Found, resp.Metrics = true, m
+	}
+	writeJSON(w, resp)
+}
+
+func (s *CacheServer) handlePut(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req CachePutRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return
+	}
+	if req.Metrics != nil {
+		s.puts.Add(1)
+		s.cache.Put(string(req.Key), req.Metrics, nil)
+	}
+	writeJSON(w, struct{}{})
+}
+
+// Stats snapshots the remote-facing counters: Hits/Misses describe what
+// workers asked for (the cluster-wide L2 hit rate), not the backing cache's
+// total traffic.
+func (s *CacheServer) Stats() sim.CacheStats {
+	st := sim.CacheStats{Hits: s.hits.Load()}
+	st.Misses = s.gets.Load() - st.Hits
+	st.Rate = st.HitRate()
+	return st
+}
+
+// ExportMetrics registers the remote-cache families on reg.
+func (s *CacheServer) ExportMetrics(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("cluster_remote_cache_gets_total",
+		"Remote evaluation-cache lookups served.", func() float64 { return float64(s.gets.Load()) })
+	reg.GaugeFunc("cluster_remote_cache_puts_total",
+		"Remote evaluation-cache inserts accepted.", func() float64 { return float64(s.puts.Load()) })
+	reg.GaugeFunc("cluster_remote_cache_hit_rate",
+		"Remote evaluation-cache hit rate (hits over lookups).", func() float64 { return s.Stats().HitRate() })
+}
+
+// Remote is the worker-side client of a CacheServer: a sim.EvalCache whose
+// entries live on the coordinator. It is built for the annealer's hot loop,
+// where a blocking network call per cache miss would erase the cluster's
+// speedup, so every slow path degrades to "miss" instead of waiting:
+//
+//   - Gets are bounded to a few in flight; when the bound is reached further
+//     lookups miss locally instead of queueing.
+//   - Puts are write-behind: enqueued on a bounded channel a background pump
+//     drains, dropped (counted) on overflow.
+//   - A transport error opens a circuit breaker for a cooldown during which
+//     every operation is a local miss / drop.
+//   - Error entries are never sent (see CacheServer).
+type Remote struct {
+	base string
+	hc   *http.Client
+
+	sem    chan struct{}
+	puts   chan CachePutRequest
+	closed chan struct{}
+	wg     sync.WaitGroup
+
+	// downUntil is the wall-clock nanosecond until which the breaker is
+	// open; 0 means closed.
+	downUntil atomic.Int64
+
+	hits, misses, errors, droppedPuts atomic.Int64
+}
+
+const (
+	remoteGetBound    = 4
+	remotePutBacklog  = 256
+	remoteCooldown    = 2 * time.Second
+	remoteCallTimeout = 5 * time.Second
+)
+
+// NewRemote builds a client for the CacheServer at base (e.g.
+// "http://10.0.0.1:8844"). A nil http.Client gets a private default. Close
+// releases the write-behind pump.
+func NewRemote(base string, hc *http.Client) *Remote {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	r := &Remote{base: strings.TrimSuffix(base, "/"), hc: hc,
+		sem:    make(chan struct{}, remoteGetBound),
+		puts:   make(chan CachePutRequest, remotePutBacklog),
+		closed: make(chan struct{})}
+	r.wg.Add(1)
+	go r.pump()
+	return r
+}
+
+// Close stops the write-behind pump, dropping any queued puts.
+func (r *Remote) Close() {
+	close(r.closed)
+	r.wg.Wait()
+}
+
+func (r *Remote) pump() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case req := <-r.puts:
+			if r.tripped() {
+				r.droppedPuts.Add(1)
+				continue
+			}
+			if err := r.call(PathCachePut, req, nil); err != nil {
+				r.trip()
+			}
+		}
+	}
+}
+
+func (r *Remote) call(path string, in, out any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), remoteCallTimeout)
+	defer cancel()
+	if err := postJSON(ctx, r.hc, r.base+path, in, out); err != nil {
+		r.errors.Add(1)
+		return err
+	}
+	return nil
+}
+
+func (r *Remote) trip()         { r.downUntil.Store(time.Now().Add(remoteCooldown).UnixNano()) }
+func (r *Remote) tripped() bool { return time.Now().UnixNano() < r.downUntil.Load() }
+
+// Get implements sim.EvalCache. Any slow or failing path reports a miss.
+func (r *Remote) Get(key string) (*sim.Metrics, error, bool) {
+	if r == nil || r.tripped() {
+		return nil, nil, false
+	}
+	select {
+	case r.sem <- struct{}{}:
+	default:
+		r.misses.Add(1) // saturated: miss locally rather than queue
+		return nil, nil, false
+	}
+	defer func() { <-r.sem }()
+	var resp CacheGetResponse
+	if err := r.call(PathCacheGet, CacheGetRequest{Key: []byte(key)}, &resp); err != nil {
+		r.trip()
+		return nil, nil, false
+	}
+	if !resp.Found || resp.Metrics == nil {
+		r.misses.Add(1)
+		return nil, nil, false
+	}
+	r.hits.Add(1)
+	return resp.Metrics, nil, true
+}
+
+// Put implements sim.EvalCache: write-behind, dropped on backlog overflow.
+// Error entries stay local.
+func (r *Remote) Put(key string, m *sim.Metrics, err error) {
+	if r == nil || err != nil || m == nil {
+		return
+	}
+	cp := *m
+	select {
+	case r.puts <- CachePutRequest{Key: []byte(key), Metrics: &cp}:
+	default:
+		r.droppedPuts.Add(1)
+	}
+}
+
+// Stats implements sim.EvalCache with the client-side counters.
+func (r *Remote) Stats() sim.CacheStats {
+	st := sim.CacheStats{Hits: r.hits.Load(), Misses: r.misses.Load()}
+	st.Rate = st.HitRate()
+	return st
+}
+
+// ExportMetrics registers the client-side remote-cache families on reg.
+func (r *Remote) ExportMetrics(reg *obs.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("cluster_remote_cache_client_hits_total",
+		"Remote-cache lookups answered by the coordinator.", func() float64 { return float64(r.hits.Load()) })
+	reg.GaugeFunc("cluster_remote_cache_client_misses_total",
+		"Remote-cache lookups that missed (including bypasses).", func() float64 { return float64(r.misses.Load()) })
+	reg.GaugeFunc("cluster_remote_cache_client_errors_total",
+		"Remote-cache transport errors (each opens the breaker).", func() float64 { return float64(r.errors.Load()) })
+	reg.GaugeFunc("cluster_remote_cache_client_dropped_puts_total",
+		"Write-behind puts dropped on overflow or open breaker.", func() float64 { return float64(r.droppedPuts.Load()) })
+}
+
+// Tiered is the worker's evaluation cache: a local in-process L1 in front of
+// a remote L2. L1 answers the annealer's short revisit distance; L2 shares
+// converged evaluations across workers. Caching never changes results, so
+// the tier preserves dse.Run's determinism guarantee.
+type Tiered struct {
+	L1 *sim.Cache
+	L2 *Remote
+}
+
+// Get implements sim.EvalCache: L1, then L2 (promoting remote hits into L1).
+func (t *Tiered) Get(key string) (*sim.Metrics, error, bool) {
+	if m, err, ok := t.L1.Get(key); ok {
+		return m, err, ok
+	}
+	if t.L2 != nil {
+		if m, _, ok := t.L2.Get(key); ok {
+			t.L1.Put(key, m, nil)
+			return m, nil, true
+		}
+	}
+	return nil, nil, false
+}
+
+// Put implements sim.EvalCache: always L1, successes also to L2.
+func (t *Tiered) Put(key string, m *sim.Metrics, err error) {
+	t.L1.Put(key, m, err)
+	if err == nil && t.L2 != nil {
+		t.L2.Put(key, m, err)
+	}
+}
+
+// Stats implements sim.EvalCache with the L1 counters (the tier the
+// evaluation loop actually feels).
+func (t *Tiered) Stats() sim.CacheStats { return t.L1.Stats() }
+
+// ExportMetrics registers both tiers' families on reg.
+func (t *Tiered) ExportMetrics(reg *obs.Registry) {
+	t.L1.ExportMetrics(reg)
+	t.L2.ExportMetrics(reg)
+}

@@ -1,0 +1,581 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soma/internal/dse"
+	"soma/internal/engine"
+	"soma/internal/obs"
+	"soma/internal/sim"
+)
+
+// Options configures one coordinated sweep.
+type Options struct {
+	// Workers are worker base URLs ("host:port" is accepted and normalized
+	// to "http://host:port"). Empty, or none reachable at the initial
+	// probe, degrades to plain local execution.
+	Workers []string
+	// Cache is the coordinator's evaluation cache: local-fallback points
+	// evaluate through it, and when CacheURL advertises a CacheServer
+	// backed by the same cache, workers share it as their L2. nil gives
+	// the run a private cache.
+	Cache sim.EvalCache
+	// CacheURL is the remote-cache base URL handed to workers in every
+	// lease ("" disables the L2 tier).
+	CacheURL string
+	// Hooks streams sweep progress exactly like dse.Options.Hooks; points
+	// report start on lease dispatch and done/error on delivery.
+	Hooks *engine.Hooks
+	// Journal is the checkpoint file path ("" disables journaling), with
+	// dse.Run's semantics: committed prefixes resume, finished files are
+	// byte-identical to a serial uninterrupted run's.
+	Journal string
+	// Obs receives coordinator telemetry (cluster_* families) and
+	// everything local fallback execution emits.
+	Obs *obs.Obs
+	// Client performs lease and ping calls; nil gets a private default.
+	Client *http.Client
+	// Logf, when non-nil, receives coordinator lifecycle lines (worker
+	// death, reassignment, degradation).
+	Logf func(format string, args ...any)
+
+	// LeasePoints is the grid points per lease (default 1: finest-grained
+	// rebalancing and dedup).
+	LeasePoints int
+	// LeaseTimeout bounds one lease attempt (default 10m - a paper-profile
+	// point can anneal for minutes).
+	LeaseTimeout time.Duration
+	// PingTimeout bounds one heartbeat probe (default 2s).
+	PingTimeout time.Duration
+	// Heartbeat is the liveness probe period (default 2s). A worker that
+	// fails a probe is marked dead and its in-flight lease is canceled and
+	// reassigned; a later successful probe revives it.
+	Heartbeat time.Duration
+	// MaxAttempts is the remote attempts per lease before it falls back to
+	// local execution (default 3).
+	MaxAttempts int
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+func (o *Options) defaults() {
+	if o.LeasePoints <= 0 {
+		o.LeasePoints = 1
+	}
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 10 * time.Minute
+	}
+	if o.PingTimeout <= 0 {
+		o.PingTimeout = 2 * time.Second
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 2 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+}
+
+// NormalizeWorkerURL accepts "host:port" or a full URL and returns a base
+// URL without a trailing slash.
+func NormalizeWorkerURL(addr string) string {
+	if addr == "" {
+		return addr
+	}
+	u := addr
+	if len(u) < 7 || (u[:7] != "http://" && (len(u) < 8 || u[:8] != "https://")) {
+		u = "http://" + u
+	}
+	for len(u) > 0 && u[len(u)-1] == '/' {
+		u = u[:len(u)-1]
+	}
+	return u
+}
+
+// node is one worker as the coordinator sees it. alive is written by the
+// heartbeat goroutine and read by the dispatch loop; every other field is
+// owned by the dispatch loop alone.
+type node struct {
+	url   string
+	alive atomic.Bool
+
+	busy    bool
+	fails   int
+	nextTry time.Time
+
+	mu     sync.Mutex
+	cancel context.CancelCauseFunc
+}
+
+func (n *node) setCancel(c context.CancelCauseFunc) {
+	n.mu.Lock()
+	n.cancel = c
+	n.mu.Unlock()
+}
+
+func (n *node) cancelInflight(cause error) {
+	n.mu.Lock()
+	c := n.cancel
+	n.mu.Unlock()
+	if c != nil {
+		c(cause)
+	}
+}
+
+// lease is a unit of dispatch: a deterministic chunk of point indices.
+type lease struct {
+	id       string
+	indices  []int
+	attempts int
+}
+
+type result struct {
+	l    *lease
+	node *node // nil: local fallback execution
+	rows []dse.Row
+	err  error
+	wall time.Duration
+}
+
+// Run executes the sweep across opt.Workers, producing an Outcome - and,
+// with opt.Journal set, a journal file - byte-identical to a serial
+// dse.Run of the same spec. Zero reachable workers at the initial probe
+// degrades to dse.Run; workers dying mid-sweep get their leases reassigned
+// (and, attempts exhausted, executed locally), so the sweep completes as
+// long as the coordinator itself survives.
+func Run(ctx context.Context, sw dse.Sweep, opt Options) (*dse.Outcome, error) {
+	opt.defaults()
+
+	pts, err := sw.Expand()
+	if err != nil {
+		return nil, err
+	}
+	digest, err := sw.SpecSHA256()
+	if err != nil {
+		return nil, err
+	}
+
+	// Initial probe: a cluster run with zero reachable workers is a plain
+	// local sweep, not an error - the flag must never break the sweep.
+	nodes := probeWorkers(ctx, opt)
+	reg := opt.Obs.Registry()
+	if len(nodes) == 0 {
+		opt.logf("cluster: no reachable workers of %d configured; running locally", len(opt.Workers))
+		reg.Counter("cluster_degraded_runs_total",
+			"Sweeps that fell back to pure-local execution at start.").Inc()
+		return dse.Run(ctx, sw, dse.Options{Cache: opt.Cache,
+			Hooks: opt.Hooks, Journal: opt.Journal, Obs: opt.Obs})
+	}
+
+	out := &dse.Outcome{Name: sw.Name, SpecSHA256: digest, Points: len(pts), BestIndex: -1}
+	out.Rows = make([]dse.Row, len(pts))
+
+	// Resume support mirrors dse.Run: load the committed prefix, rewrite
+	// it verbatim, lease only the rest.
+	var jw *dse.JournalWriter
+	start := 0
+	if opt.Journal != "" {
+		rows, lines, err := dse.LoadJournal(opt.Journal, digest, len(pts))
+		if err != nil {
+			return nil, err
+		}
+		if jw, err = dse.OpenJournal(opt.Journal, sw, digest, len(pts), lines); err != nil {
+			return nil, err
+		}
+		defer jw.Close()
+		copy(out.Rows, rows)
+		start = len(rows)
+		out.Resumed = len(rows)
+	}
+
+	cache := opt.Cache
+	if cache == nil {
+		cache = sim.NewCache(0)
+	}
+
+	opt.Hooks.Emit(engine.Event{Kind: "sweep-start", Component: sw.Name, Iter: len(pts)})
+
+	c := &coord{sw: sw, digest: digest, opt: &opt, nodes: nodes, pts: pts,
+		out: out, jw: jw, done: make([]bool, len(pts)), frontier: start,
+		cache: cache, results: make(chan result),
+		localCh: make(chan *lease, (len(pts)-start)/opt.LeasePoints+1)}
+	c.exportMetrics(reg)
+	if err := c.run(ctx, pts, start); err != nil {
+		return nil, err
+	}
+
+	bestCost := -1.0
+	for i := range out.Rows {
+		r := &out.Rows[i]
+		if r.Err != "" {
+			out.Failed++
+			continue
+		}
+		if r.Result != nil && (out.BestIndex < 0 || r.Result.Cost < bestCost) {
+			out.BestIndex, bestCost = i, r.Result.Cost
+		}
+	}
+	out.Pareto = dse.CostVsBufferFront(out.Rows)
+	out.Cache = cache.Stats()
+	opt.Hooks.Emit(engine.Event{Kind: "sweep-done", Component: sw.Name, Cost: bestCost})
+	return out, nil
+}
+
+// probeWorkers pings every configured worker once in parallel, returning the
+// reachable ones (all of them stay candidates for revival via heartbeat, but
+// an initial probe finding zero is the degradation signal).
+func probeWorkers(ctx context.Context, opt Options) []*node {
+	type probe struct {
+		n  *node
+		ok bool
+	}
+	ch := make(chan probe, len(opt.Workers))
+	for _, addr := range opt.Workers {
+		url := NormalizeWorkerURL(addr)
+		if url == "" {
+			ch <- probe{}
+			continue
+		}
+		go func(url string) {
+			n := &node{url: url}
+			ok := pingWorker(ctx, opt.Client, url, opt.PingTimeout)
+			n.alive.Store(ok)
+			ch <- probe{n: n, ok: ok}
+		}(url)
+	}
+	var nodes []*node
+	for range opt.Workers {
+		p := <-ch
+		if p.n == nil {
+			continue
+		}
+		if !p.ok {
+			opt.logf("cluster: worker %s unreachable at probe", p.n.url)
+		}
+		nodes = append(nodes, p.n)
+	}
+	alive := 0
+	for _, n := range nodes {
+		if n.alive.Load() {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return nil
+	}
+	return nodes
+}
+
+func pingWorker(ctx context.Context, hc *http.Client, url string, timeout time.Duration) bool {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, url+PathPing, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// coord is the dispatch-loop state. Except where noted on node, every field
+// is owned by the single run() goroutine.
+type coord struct {
+	sw     dse.Sweep
+	digest string
+	opt    *Options
+	nodes  []*node
+	pts    []dse.Point
+	cache  sim.EvalCache
+
+	out      *dse.Outcome
+	jw       *dse.JournalWriter
+	done     []bool
+	frontier int
+	werr     error
+
+	results chan result
+	localCh chan *lease
+
+	inflight      atomic.Int64
+	reassignments *obs.Counter
+	deduped       *obs.Counter
+	committed     int
+}
+
+func (c *coord) exportMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("cluster_leases_inflight",
+		"Leases currently dispatched (remote or local).",
+		func() float64 { return float64(c.inflight.Load()) })
+	reg.GaugeFunc("cluster_workers_alive",
+		"Workers currently passing heartbeats.", func() float64 {
+			alive := 0
+			for _, n := range c.nodes {
+				if n.alive.Load() {
+					alive++
+				}
+			}
+			return float64(alive)
+		})
+	c.reassignments = reg.Counter("cluster_lease_reassignments_total",
+		"Lease dispatches retried after a worker failure or death.")
+	c.deduped = reg.Counter("cluster_points_deduped_total",
+		"Duplicate point deliveries ignored at the journal commit point.")
+}
+
+// commit merges one delivered row set into the outcome, ignoring duplicates
+// (at-least-once dispatch makes double delivery legal) and advancing the
+// in-order journal frontier - the exactly-once point of the whole design.
+func (c *coord) commit(l *lease, rows []dse.Row) {
+	for j, idx := range l.indices {
+		if c.done[idx] {
+			c.deduped.Inc()
+			continue
+		}
+		c.out.Rows[idx] = rows[j]
+		c.done[idx] = true
+		c.committed++
+		row := &c.out.Rows[idx]
+		if row.Err != "" {
+			c.opt.Hooks.Emit(engine.Event{Kind: "point-error",
+				Component: row.Point.Label(), Iter: idx, Err: row.Err})
+		} else if row.Result != nil {
+			c.opt.Hooks.Emit(engine.Event{Kind: "point-done",
+				Component: row.Point.Label(), Iter: idx, Cost: row.Result.Cost})
+		}
+	}
+	for c.frontier < len(c.done) && c.done[c.frontier] {
+		if c.jw != nil && c.werr == nil {
+			c.werr = c.jw.Append(c.out.Rows[c.frontier].Scrubbed())
+		}
+		c.frontier++
+	}
+}
+
+// run drives dispatch until every point is committed or ctx dies.
+func (c *coord) run(ctx context.Context, pts []dse.Point, start int) error {
+	opt := c.opt
+	runCtx, stop := context.WithCancel(ctx)
+	defer stop()
+
+	// Partition deterministically: consecutive chunks in canonical index
+	// order, so lease boundaries never depend on worker behavior.
+	var pending []*lease
+	for lo := start; lo < len(pts); lo += opt.LeasePoints {
+		hi := lo + opt.LeasePoints
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		indices := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			indices = append(indices, i)
+		}
+		pending = append(pending, &lease{id: fmt.Sprintf("lease-%04d", lo), indices: indices})
+	}
+	need := len(pts) - start
+
+	// Local fallback executors: leases that exhaust remote attempts (or
+	// find no workers alive) run here through dse.RunPoints with the
+	// coordinator cache.
+	var localWG sync.WaitGroup
+	localWorkers := runtime.NumCPU()
+	for w := 0; w < localWorkers; w++ {
+		localWG.Add(1)
+		go func() {
+			defer localWG.Done()
+			for l := range c.localCh {
+				rows, err := dse.RunPoints(runCtx, c.sw, l.indices,
+					dse.Options{Cache: c.cache, Obs: opt.Obs})
+				select {
+				case c.results <- result{l: l, rows: rows, err: err}:
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+	defer func() {
+		close(c.localCh)
+		stop()
+		localWG.Wait()
+	}()
+
+	// Heartbeats: a failed probe kills the node's in-flight lease with a
+	// reassignment cause; a later success revives the node.
+	for _, n := range c.nodes {
+		go func(n *node) {
+			t := time.NewTicker(opt.Heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-t.C:
+					ok := pingWorker(runCtx, opt.Client, n.url, opt.PingTimeout)
+					was := n.alive.Swap(ok)
+					if was && !ok {
+						opt.logf("cluster: worker %s failed heartbeat; reassigning its lease", n.url)
+						n.cancelInflight(fmt.Errorf("cluster: worker %s heartbeat lost", n.url))
+					}
+					if !was && ok {
+						opt.logf("cluster: worker %s revived", n.url)
+					}
+				}
+			}
+		}(n)
+	}
+
+	rng := rand.New(rand.NewSource(1)) // jitter only; never affects results
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+
+	for c.committed < need {
+		// Assign pending leases to idle, alive, backoff-eligible nodes.
+		now := time.Now()
+		anyAlive := false
+		for _, n := range c.nodes {
+			if n.alive.Load() {
+				anyAlive = true
+				if !n.busy && !now.Before(n.nextTry) && len(pending) > 0 {
+					l := pending[0]
+					pending = pending[1:]
+					c.dispatch(runCtx, n, l)
+				}
+			}
+		}
+		if !anyAlive {
+			// Every worker is dead right now: drain pending locally.
+			// Later requeues re-check, so revived workers resume serving.
+			for len(pending) > 0 {
+				l := pending[0]
+				pending = pending[1:]
+				c.reassignments.Inc()
+				c.toLocal(l, "no workers alive")
+			}
+		}
+
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			// Re-check aliveness and backoff windows.
+		case res := <-c.results:
+			c.inflight.Add(-1)
+			if res.node != nil {
+				res.node.busy = false
+				res.node.setCancel(nil)
+			}
+			if res.err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				if res.node == nil {
+					// Local fallback failed: nothing further to
+					// degrade to, so the sweep fails loudly.
+					return fmt.Errorf("cluster: local execution of %s: %w", res.l.id, res.err)
+				}
+				res.l.attempts++
+				res.node.fails++
+				backoff := time.Duration(100<<min(res.node.fails, 6)) * time.Millisecond
+				backoff += time.Duration(rng.Int63n(int64(backoff)/2 + 1))
+				res.node.nextTry = time.Now().Add(backoff)
+				c.reassignments.Inc()
+				opt.logf("cluster: %s failed on %s (attempt %d): %v",
+					res.l.id, res.node.url, res.l.attempts, res.err)
+				if res.l.attempts >= opt.MaxAttempts {
+					c.toLocal(res.l, "attempts exhausted")
+				} else {
+					pending = append(pending, res.l)
+				}
+			} else {
+				if res.node != nil {
+					res.node.fails = 0
+					if n := len(res.l.indices); n > 0 {
+						c.opt.Obs.Registry().Histogram("cluster_point_seconds",
+							"Per-point wall time of leases by worker.",
+							"worker", res.node.url).
+							Observe(res.wall.Seconds() / float64(n))
+					}
+				}
+				c.commit(res.l, res.rows)
+			}
+		}
+	}
+	if c.werr != nil {
+		return c.werr
+	}
+	return nil
+}
+
+// toLocal queues a lease for local fallback execution. Callers count the
+// reassignment (the failure paths already have).
+func (c *coord) toLocal(l *lease, why string) {
+	c.opt.logf("cluster: %s running locally (%s)", l.id, why)
+	c.inflight.Add(1)
+	c.localCh <- l
+}
+
+// dispatch launches one remote lease attempt.
+func (c *coord) dispatch(ctx context.Context, n *node, l *lease) {
+	n.busy = true
+	c.inflight.Add(1)
+	lctx, cancel := context.WithCancelCause(ctx)
+	n.setCancel(cancel)
+	for _, idx := range l.indices {
+		c.opt.Hooks.Emit(engine.Event{Kind: "point-start",
+			Component: c.pts[idx].Label(), Iter: idx})
+	}
+	go func() {
+		defer cancel(nil)
+		start := time.Now()
+		rows, err := c.doLease(lctx, n, l)
+		select {
+		case c.results <- result{l: l, node: n, rows: rows, err: err, wall: time.Since(start)}:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// doLease performs one lease HTTP round-trip and validates the response
+// shape (right row count, right indices, scrub-stable rows).
+func (c *coord) doLease(ctx context.Context, n *node, l *lease) ([]dse.Row, error) {
+	tctx, cancel := context.WithTimeout(ctx, c.opt.LeaseTimeout)
+	defer cancel()
+	var resp LeaseResponse
+	err := postJSON(tctx, c.opt.Client, n.url+PathLease, LeaseRequest{
+		LeaseID: l.id, Spec: c.sw, SpecSHA256: c.digest,
+		Indices: l.indices, CacheURL: c.opt.CacheURL}, &resp)
+	if err != nil {
+		if cause := context.Cause(ctx); cause != nil && ctx.Err() != nil {
+			return nil, cause
+		}
+		return nil, err
+	}
+	if len(resp.Rows) != len(l.indices) {
+		return nil, fmt.Errorf("cluster: %s returned %d rows, want %d", n.url, len(resp.Rows), len(l.indices))
+	}
+	for j, idx := range l.indices {
+		if resp.Rows[j].Point.Index != idx {
+			return nil, fmt.Errorf("cluster: %s returned row for point %d at position %d (want %d)",
+				n.url, resp.Rows[j].Point.Index, j, idx)
+		}
+	}
+	return resp.Rows, nil
+}

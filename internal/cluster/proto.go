@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"soma/internal/dse"
+	"soma/internal/sim"
+)
+
+// Endpoint paths. Workers mount PathPing and PathLease (see Worker.Mount);
+// coordinators host PathCacheGet and PathCachePut (see CacheServer.Mount).
+const (
+	PathPing     = "/v1/cluster/ping"
+	PathLease    = "/v1/cluster/lease"
+	PathCacheGet = "/v1/cluster/cache/get"
+	PathCachePut = "/v1/cluster/cache/put"
+)
+
+// LeaseRequest asks a worker to compute a subset of a sweep's expanded grid.
+// The request is self-contained - it carries the full spec, not a reference -
+// so workers are stateless between leases and any worker can take any lease.
+type LeaseRequest struct {
+	// LeaseID names the lease for logs and responses; it is deterministic
+	// per (spec, indices) so retried dispatches are recognizable.
+	LeaseID string `json:"lease_id"`
+	Spec    dse.Sweep `json:"spec"`
+	// SpecSHA256 is the coordinator's spec digest. Workers re-derive the
+	// digest from Spec and reject a mismatch: after a version skew the two
+	// sides could otherwise silently expand different grids.
+	SpecSHA256 string `json:"spec_sha256"`
+	// Indices are the canonical-expansion point indices to compute.
+	Indices []int `json:"indices"`
+	// CacheURL, when set, is the coordinator's remote evaluation-cache
+	// base URL; the worker evaluates through a local-L1/remote-L2 tier.
+	CacheURL string `json:"cache_url,omitempty"`
+}
+
+// LeaseResponse returns the computed rows, Scrubbed, in Indices order.
+type LeaseResponse struct {
+	LeaseID string    `json:"lease_id"`
+	Rows    []dse.Row `json:"rows"`
+}
+
+// PingResponse answers a heartbeat.
+type PingResponse struct {
+	OK           bool  `json:"ok"`
+	LeasesServed int64 `json:"leases_served"`
+}
+
+// Cache wire types. Keys travel as []byte (base64 in JSON) because sim.Key
+// embeds varint bytes that are not valid UTF-8 and would be mangled by JSON
+// string encoding. Error entries never cross the wire: failures are cheap to
+// recompute and stay in the worker-local L1.
+type CacheGetRequest struct {
+	Key []byte `json:"key"`
+}
+
+type CacheGetResponse struct {
+	Found   bool         `json:"found"`
+	Metrics *sim.Metrics `json:"metrics,omitempty"`
+}
+
+type CachePutRequest struct {
+	Key     []byte       `json:"key"`
+	Metrics *sim.Metrics `json:"metrics"`
+}
+
+// postJSON round-trips one JSON request/response pair, treating any non-200
+// status as an error carrying the response body.
+func postJSON(ctx context.Context, hc *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soma/internal/dse"
+	"soma/internal/obs"
+	"soma/internal/sim"
+)
+
+// Worker serves lease execution: a somad started with -worker mounts one on
+// its mux. Workers are stateless between leases (every lease carries its
+// full spec), but keep a process-lifetime L1 evaluation cache - engine cache
+// scopes already namespace keys per (workload, batch, platform, hw) context,
+// so entries are shareable across leases and sweeps - plus one Remote client
+// per coordinator cache URL.
+type Worker struct {
+	// Obs receives worker telemetry (cluster_worker_* plus everything the
+	// solvers emit). Nil disables it.
+	Obs *obs.Obs
+	// Client performs remote-cache calls; nil gets a private default.
+	Client *http.Client
+
+	l1 *sim.Cache
+
+	mu      sync.Mutex
+	remotes map[string]*Remote
+
+	leases atomic.Int64
+}
+
+// NewWorker builds a worker with a fresh L1 cache.
+func NewWorker(o *obs.Obs) *Worker {
+	w := &Worker{Obs: o, l1: sim.NewCache(0), remotes: make(map[string]*Remote)}
+	w.l1.ExportMetrics(o.Registry())
+	return w
+}
+
+// Mount registers the worker endpoints on mux.
+func (w *Worker) Mount(mux *http.ServeMux) {
+	mux.HandleFunc(PathPing, w.handlePing)
+	mux.HandleFunc(PathLease, w.handleLease)
+}
+
+func (w *Worker) handlePing(rw http.ResponseWriter, r *http.Request) {
+	writeJSON(rw, PingResponse{OK: true, LeasesServed: w.leases.Load()})
+}
+
+// tier returns the evaluation cache for a lease: the shared L1, fronted by a
+// Remote L2 when the coordinator advertised one.
+func (w *Worker) tier(cacheURL string) sim.EvalCache {
+	if cacheURL == "" {
+		return w.l1
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rem, ok := w.remotes[cacheURL]
+	if !ok {
+		rem = NewRemote(cacheURL, w.Client)
+		rem.ExportMetrics(w.Obs.Registry())
+		w.remotes[cacheURL] = rem
+	}
+	return &Tiered{L1: w.l1, L2: rem}
+}
+
+func (w *Worker) handleLease(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req LeaseRequest
+	if err := decodeBody(rw, r, &req); err != nil {
+		return
+	}
+	// Version-skew defense: recompute the digest from the spec we actually
+	// decoded. A coordinator running different expansion code would
+	// otherwise get rows for the wrong grid cells, silently.
+	digest, err := req.Spec.SpecSHA256()
+	if err != nil {
+		http.Error(rw, "cluster: bad spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if digest != req.SpecSHA256 {
+		http.Error(rw, "cluster: spec digest mismatch (coordinator/worker version skew?)",
+			http.StatusBadRequest)
+		return
+	}
+
+	reg := w.Obs.Registry()
+	start := time.Now()
+	rows, err := dse.RunPoints(r.Context(), req.Spec, req.Indices,
+		dse.Options{Cache: w.tier(req.CacheURL), Obs: w.Obs})
+	if err != nil {
+		reg.Counter("cluster_worker_leases_total", "Leases served by outcome.",
+			"outcome", "error").Inc()
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.leases.Add(1)
+	reg.Counter("cluster_worker_leases_total", "Leases served by outcome.",
+		"outcome", "ok").Inc()
+	reg.Counter("cluster_worker_points_total", "Grid points computed for leases.").
+		Add(int64(len(rows)))
+	if n := len(rows); n > 0 {
+		reg.Histogram("cluster_worker_point_seconds",
+			"Per-point wall time of lease execution on this worker.").
+			Observe(time.Since(start).Seconds() / float64(n))
+	}
+	writeJSON(rw, LeaseResponse{LeaseID: req.LeaseID, Rows: rows})
+}
+
+// decodeBody parses one JSON request body, answering 400 on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "cluster: bad request body: "+err.Error(), http.StatusBadRequest)
+		return err
+	}
+	return nil
+}

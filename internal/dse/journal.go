@@ -29,20 +29,22 @@ type journalHeader struct {
 	Points     int    `json:"points"`
 }
 
-// journal is the append side of the checkpoint file.
-type journal struct {
+// JournalWriter is the append side of the checkpoint file. The cluster
+// coordinator drives it directly (merging worker row streams into the
+// canonical file); everyone else goes through Run's Journal option.
+type JournalWriter struct {
 	f *os.File
 	w *bufio.Writer
 }
 
-// loadJournal reads an existing journal, validating the header against the
+// LoadJournal reads an existing journal, validating the header against the
 // sweep digest and returning the committed row prefix together with the raw
 // line bytes (re-written verbatim on resume, so loaded rows never go through
 // a re-marshal). A missing file returns no rows and no error. A header
 // bound to a different spec or grid size is an error - resuming must never
 // silently mix two sweeps. A torn tail (partial last line from a killed
 // process) is discarded; everything before it is kept.
-func loadJournal(path string, digest string, points int) (rows []Row, lines [][]byte, err error) {
+func LoadJournal(path string, digest string, points int) (rows []Row, lines [][]byte, err error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil, nil
@@ -89,24 +91,24 @@ func shortDigest(d string) string {
 	return d
 }
 
-// openJournal creates (or, with kept prefix lines, rewrites) the journal and
+// OpenJournal creates (or, with kept prefix lines, rewrites) the journal and
 // leaves it positioned for appending row len(lines). Rewriting the verbatim
 // prefix keeps resumed files byte-identical to uninterrupted runs even if
 // the previous process died mid-line. The rewrite goes through a temp file
 // renamed into place only after the prefix is flushed, so a crash during
 // resume never costs the points the previous run already paid for.
-func openJournal(path string, sw Sweep, digest string, points int, lines [][]byte) (*journal, error) {
+func OpenJournal(path string, sw Sweep, digest string, points int, lines [][]byte) (*JournalWriter, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return nil, err
 	}
-	fail := func(err error) (*journal, error) {
+	fail := func(err error) (*JournalWriter, error) {
 		f.Close()
 		os.Remove(tmp)
 		return nil, err
 	}
-	j := &journal{f: f, w: bufio.NewWriter(f)}
+	j := &JournalWriter{f: f, w: bufio.NewWriter(f)}
 	hdr, err := json.Marshal(journalHeader{Version: journalVersion, Sweep: sw.Name,
 		SpecSHA256: digest, Points: points})
 	if err != nil {
@@ -134,9 +136,9 @@ func openJournal(path string, sw Sweep, digest string, points int, lines [][]byt
 	return j, nil
 }
 
-// append commits one (already Scrubbed) row and flushes it to the OS, so a
+// Append commits one (already Scrubbed) row and flushes it to the OS, so a
 // kill right after a point completes loses at most the in-flight points.
-func (j *journal) append(row Row) error {
+func (j *JournalWriter) Append(row Row) error {
 	data, err := json.Marshal(row)
 	if err != nil {
 		return err
@@ -147,7 +149,8 @@ func (j *journal) append(row Row) error {
 	return j.w.Flush()
 }
 
-func (j *journal) close() error {
+// Close flushes and closes the journal file.
+func (j *JournalWriter) Close() error {
 	if j == nil {
 		return nil
 	}

@@ -24,7 +24,7 @@ type Options struct {
 	// seed and objective axes in particular - reuse each other's
 	// evaluations. nil gives the sweep a private shared cache. Sharing
 	// only changes lookup cost, never any result.
-	Cache *sim.Cache
+	Cache sim.EvalCache
 	// Hooks streams sweep progress: "sweep-start" (Iter = grid size),
 	// then per point "point-start" / "point-done" (Cost) / "point-error"
 	// (Err), each tagged Component = Point.Label() and Iter = point
@@ -123,17 +123,17 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
 	out.Rows = make([]Row, len(pts))
 
 	// Resume: load the committed prefix, rewrite it verbatim, continue.
-	var jw *journal
+	var jw *JournalWriter
 	start := 0
 	if opt.Journal != "" {
-		rows, lines, err := loadJournal(opt.Journal, digest, len(pts))
+		rows, lines, err := LoadJournal(opt.Journal, digest, len(pts))
 		if err != nil {
 			return nil, err
 		}
-		if jw, err = openJournal(opt.Journal, sw, digest, len(pts), lines); err != nil {
+		if jw, err = OpenJournal(opt.Journal, sw, digest, len(pts), lines); err != nil {
 			return nil, err
 		}
-		defer jw.close()
+		defer jw.Close()
 		copy(out.Rows, rows)
 		start = len(rows)
 		out.Resumed = len(rows)
@@ -166,7 +166,7 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
 		done[i] = true
 		for frontier < len(pts) && done[frontier] {
 			if jw != nil && werr == nil {
-				werr = jw.append(out.Rows[frontier].Scrubbed())
+				werr = jw.Append(out.Rows[frontier].Scrubbed())
 			}
 			frontier++
 		}
@@ -229,10 +229,64 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
 	return out, nil
 }
 
+// RunPoints executes a subset of the sweep's expanded grid - the given point
+// indices - and returns their Scrubbed rows in the same order. This is the
+// lease-execution primitive the cluster worker serves and the coordinator
+// falls back to locally when no worker can take a lease: because each row is
+// a pure function of (spec, index), rows computed here are byte-identical to
+// the rows a serial Run commits. No journal is written; indices outside the
+// grid are an error.
+func RunPoints(ctx context.Context, sw Sweep, indices []int, opt Options) ([]Row, error) {
+	pts, err := sw.Expand()
+	if err != nil {
+		return nil, err
+	}
+	_, par, err := sw.normalized()
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range indices {
+		if idx < 0 || idx >= len(pts) {
+			return nil, fmt.Errorf("dse: point index %d outside grid of %d", idx, len(pts))
+		}
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = sim.NewCache(0)
+	}
+	workers := sw.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	rows := make([]Row, len(indices))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for j, idx := range indices {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(j, idx int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			rows[j] = runPoint(ctx, pts[idx], par, cache, opt.Hooks, opt.Obs, sw.Convergence).Scrubbed()
+		}(j, idx)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
+	return rows, nil
+}
+
 // runPoint solves one grid cell. Engine failures other than cancellation
 // become error rows - an infeasible (buffer, bandwidth) corner is data, not
 // a reason to abort the grid.
-func runPoint(ctx context.Context, p Point, par soma.Params, cache *sim.Cache,
+func runPoint(ctx context.Context, p Point, par soma.Params, cache sim.EvalCache,
 	h *engine.Hooks, o *obs.Obs, convergence bool) Row {
 	h.Emit(engine.Event{Kind: "point-start", Component: p.Label(), Iter: p.Index})
 	reg := o.Registry()
@@ -254,7 +308,16 @@ func runPoint(ctx context.Context, p Point, par soma.Params, cache *sim.Cache,
 		"Wall time of one sweep point solve.").Observe(time.Since(start).Seconds())
 	if err != nil {
 		if ctx.Err() != nil {
-			return row // aborted: never committed
+			// Aborted: the row stays uncommitted (the in-order frontier
+			// stalls, keeping the journal a clean prefix), but the hook
+			// stream records the cancellation *cause* - not the engine's
+			// generic error string - so a lease the cluster coordinator
+			// reassigned is distinguishable from a real point failure.
+			reg.Counter("dse_points_total", "Sweep points by outcome.",
+				"outcome", "canceled").Inc()
+			h.Emit(engine.Event{Kind: "point-error", Component: p.Label(),
+				Iter: p.Index, Err: context.Cause(ctx).Error()})
+			return row
 		}
 		row.Err = err.Error()
 		reg.Counter("dse_points_total", "Sweep points by outcome.",

@@ -46,7 +46,7 @@ type solveInputs struct {
 	spec  report.Spec
 	obj   soma.Objective
 	par   soma.Params
-	cache *sim.Cache
+	cache sim.EvalCache
 	// scope namespaces cache keys; only applied when cache is shared
 	// (a private cache holds one workload and needs none).
 	scope string

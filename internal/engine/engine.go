@@ -57,7 +57,7 @@ type Request struct {
 	// per (workload, batch, platform) context, so heterogeneous requests
 	// never collide; nil gives the run a private cache. Sharing only
 	// changes lookup cost, never the result.
-	Cache *sim.Cache
+	Cache sim.EvalCache
 	// Obs optionally attaches an observability bundle: the registry
 	// receives engine solve counters/latency plus the solver layers'
 	// telemetry (soma_sa_*, sim_inc_*, sim_eval_cache_*), and the tracer

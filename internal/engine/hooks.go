@@ -84,7 +84,7 @@ func (h *Hooks) Emit(e Event) {
 // following each stage completion with an evaluation-cache snapshot. A nil
 // return (no hooks installed) keeps the solver's callback plumbing off
 // entirely.
-func progressTap(h *Hooks, backend, component string, cache *sim.Cache) func(soma.Progress) {
+func progressTap(h *Hooks, backend, component string, cache sim.EvalCache) func(soma.Progress) {
 	if h == nil || h.Event == nil {
 		return nil
 	}

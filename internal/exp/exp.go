@@ -114,8 +114,10 @@ func searchCache(s *report.Search) sim.CacheStats {
 	if s == nil {
 		return sim.CacheStats{}
 	}
-	return sim.CacheStats{Hits: s.CacheHits, Misses: s.CacheMisses,
+	st := sim.CacheStats{Hits: s.CacheHits, Misses: s.CacheMisses,
 		Entries: s.CacheEntries, Flushes: s.CacheGenerations}
+	st.Rate = st.HitRate()
+	return st
 }
 
 // RunPair runs the baseline and both SoMa stages on one case: one

@@ -20,7 +20,7 @@ type ScenarioRun struct {
 	// somad daemon passes its process-wide cache so repeated scenario and
 	// single-model jobs reuse each other's evaluations); nil creates a
 	// private cache shared by this scenario's sub-runs.
-	Cache *sim.Cache
+	Cache sim.EvalCache
 }
 
 // ScenarioModelName is the Workload.Model the composed payload reports.

@@ -268,9 +268,7 @@ func FromSoma(spec Spec, cfg hw.Config, res *soma.Result) *Result {
 		CacheEntries:     res.Cache.Entries,
 		CacheGenerations: res.Cache.Flushes,
 	}
-	if total := res.Cache.Hits + res.Cache.Misses; total > 0 {
-		r.Search.CacheHitRate = float64(res.Cache.Hits) / float64(total)
-	}
+	r.Search.CacheHitRate = res.Cache.HitRate()
 	r.Raw = &Raw{Encoding: res.Encoding, Schedule: res.Schedule,
 		Metrics: res.Stage2.Metrics, Stage1Metrics: res.Stage1.Metrics,
 		Stage1WallNS: res.Stage1WallNS, Stage2WallNS: res.Stage2WallNS}

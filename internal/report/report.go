@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"soma/internal/sim"
 )
 
 // Table is a simple column-aligned table.
@@ -101,9 +103,10 @@ func X(v float64) string { return fmt.Sprintf("%.2fx", v) }
 // HitRate formats memoization counters as "rate% (hits/lookups)" - used to
 // surface the evaluation cache's effectiveness in run reports.
 func HitRate(hits, misses int64) string {
+	st := sim.CacheStats{Hits: hits, Misses: misses}
 	total := hits + misses
 	if total == 0 {
 		return "n/a (0 lookups)"
 	}
-	return fmt.Sprintf("%.1f%% (%d/%d)", 100*float64(hits)/float64(total), hits, total)
+	return fmt.Sprintf("%.1f%% (%d/%d)", 100*st.HitRate(), hits, total)
 }

@@ -7,6 +7,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"soma/internal/cluster"
 	"soma/internal/dse"
 	"soma/internal/engine"
 	"soma/internal/exp"
@@ -39,6 +41,18 @@ type Config struct {
 	// MaxJobs bounds the job table; beyond it the oldest terminal jobs
 	// and their results are evicted (default DefaultMaxJobs).
 	MaxJobs int
+	// ClusterWorker mounts the cluster lease-execution endpoints
+	// (/v1/cluster/ping, /v1/cluster/lease): this somad serves leases for
+	// a remote coordinator (somad -worker).
+	ClusterWorker bool
+	// ClusterWorkers lists worker addresses; when non-empty, sweep jobs
+	// are sharded across them through internal/cluster instead of running
+	// in-process (somad -workers).
+	ClusterWorkers []string
+	// Advertise is this coordinator's externally reachable base URL; when
+	// set alongside ClusterWorkers, workers use it as their remote
+	// evaluation-cache L2 (backed by the shared in-process cache).
+	Advertise string
 }
 
 func (c Config) normalized() Config {
@@ -69,6 +83,12 @@ type Server struct {
 
 	queue chan string
 
+	// clusterWorker serves lease execution when cfg.ClusterWorker; the
+	// cache server exposes the shared evaluation cache as the cluster L2
+	// when this somad coordinates sweeps for remote workers.
+	clusterWorker *cluster.Worker
+	cacheServer   *cluster.CacheServer
+
 	// base is canceled by Stop/Shutdown, stopping workers and running
 	// jobs; draining additionally rejects new submits with 503.
 	base     context.Context
@@ -96,6 +116,13 @@ func New(cfg Config) *Server {
 	// Export the shared cache's counters up front so /metrics serves the
 	// sim_eval_cache_* family before the first job arrives.
 	s.cache.ExportMetrics(s.reg)
+	if cfg.ClusterWorker {
+		s.clusterWorker = cluster.NewWorker(&obs.Obs{Reg: s.reg})
+	}
+	if len(cfg.ClusterWorkers) > 0 {
+		s.cacheServer = cluster.NewCacheServer(s.cache)
+		s.cacheServer.ExportMetrics(s.reg)
+	}
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -207,7 +234,21 @@ func (s *Server) runJob(id string) {
 // which makes a fixed-seed sweep's rows byte-identical to the journal
 // `soma -sweep` writes for the same spec.
 func (s *Server) runSweepJob(ctx context.Context, id string, sw dse.Sweep, hooks *engine.Hooks, o *obs.Obs) {
-	out, err := dse.Run(ctx, sw, dse.Options{Cache: s.cache, Hooks: hooks, Obs: o})
+	var out *dse.Outcome
+	var err error
+	if len(s.cfg.ClusterWorkers) > 0 {
+		// Sharded execution; degrades to the local path by itself when no
+		// worker answers the initial probe.
+		var cacheURL string
+		if s.cfg.Advertise != "" {
+			cacheURL = cluster.NormalizeWorkerURL(s.cfg.Advertise)
+		}
+		out, err = cluster.Run(ctx, sw, cluster.Options{
+			Workers: s.cfg.ClusterWorkers, Cache: s.cache, CacheURL: cacheURL,
+			Hooks: hooks, Obs: o, Logf: log.Printf})
+	} else {
+		out, err = dse.Run(ctx, sw, dse.Options{Cache: s.cache, Hooks: hooks, Obs: o})
+	}
 	s.countJob("sweep", err)
 	switch {
 	case err == nil:
@@ -289,6 +330,12 @@ func (s *Server) routes() {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/dash", s.handleDash)
+	if s.clusterWorker != nil {
+		s.clusterWorker.Mount(mux)
+	}
+	if s.cacheServer != nil {
+		s.cacheServer.Mount(mux)
+	}
 	s.mux = mux
 }
 

@@ -10,6 +10,79 @@ import (
 	"soma/internal/obs"
 )
 
+// EvalCache is the pluggable evaluation-cache tier: anything that can
+// memoize (key -> evaluation outcome) pairs. The in-process Cache is the
+// default implementation; internal/cluster adds a worker-local L1 in front
+// of a coordinator-hosted remote L2, and the interface leaves room for
+// persistent on-disk tiers. dse, engine, service and soma all consume this
+// interface rather than the concrete Cache.
+//
+// Semantics every implementation must honor:
+//
+//   - Get returns a private copy the caller may mutate freely.
+//   - Put may drop entries (bounded tiers, best-effort remote tiers); a
+//     cache is an accelerator, never a source of truth.
+//   - Evaluations are deterministic per key, so two racing Puts for one key
+//     always store equal values - implementations may keep either.
+//   - All methods are safe for concurrent use.
+type EvalCache interface {
+	// Get returns the memoized evaluation for key: the metrics (nil when
+	// the cached evaluation failed), the cached failure (nil on success),
+	// and whether the key was present at all.
+	Get(key string) (*Metrics, error, bool)
+	// Put stores one evaluation outcome under key.
+	Put(key string, m *Metrics, err error)
+	// Stats snapshots the tier's counters.
+	Stats() CacheStats
+}
+
+// MetricsExporter is an optional EvalCache extension: tiers that can expose
+// their counters as pull gauges implement it, and ExportCacheMetrics wires
+// them to a registry. The concrete Cache and the cluster tiered cache both
+// implement it.
+type MetricsExporter interface {
+	ExportMetrics(reg *obs.Registry)
+}
+
+// ExportCacheMetrics registers c's counters on reg when the tier supports it.
+// Safe on a nil cache or registry.
+func ExportCacheMetrics(c EvalCache, reg *obs.Registry) {
+	if e, ok := c.(MetricsExporter); ok {
+		e.ExportMetrics(reg)
+	}
+}
+
+// Memoize returns the cached evaluation for key from any EvalCache tier, or
+// runs eval and stores its result. A nil cache runs eval uncached. The
+// concrete *Cache keeps its single-lock fast path (which also covers typed
+// nil *Cache values hiding inside the interface).
+func Memoize(c EvalCache, key string, eval func() (*Metrics, error)) (*Metrics, error) {
+	if cc, ok := c.(*Cache); ok {
+		return cc.Memoize(key, eval)
+	}
+	if c == nil {
+		return eval()
+	}
+	if m, err, ok := c.Get(key); ok {
+		return m, err
+	}
+	m, err := eval()
+	c.Put(key, m, err)
+	return m, err
+}
+
+// CachedEvaluate is a memoizing Evaluate over any EvalCache tier. Traced
+// evaluations bypass the cache: their slices are large and the
+// execution-graph renderer only ever runs once per figure.
+func CachedEvaluate(c EvalCache, s *core.Schedule, cs *coresched.Scheduler, opt Options) (*Metrics, error) {
+	if c == nil || opt.Trace {
+		return Evaluate(s, cs, opt)
+	}
+	return Memoize(c, Key(opt.CacheScope+s.CanonicalKey(), opt.BufferBudget), func() (*Metrics, error) {
+		return Evaluate(s, cs, opt)
+	})
+}
+
 // Cache memoizes schedule evaluations. The annealing stages revisit states -
 // rejected moves get re-proposed, portfolio chains share the initial
 // solution, and every stage re-evaluates its winner once more at the end -
@@ -89,6 +162,44 @@ func (c *Cache) lookup(key string) (cacheEntry, bool) {
 	return cacheEntry{}, false
 }
 
+// Get implements EvalCache: the cached evaluation for key, counted as a hit
+// or miss. The returned Metrics is a private copy. Safe on a nil cache
+// (always a miss, counted nowhere).
+func (c *Cache) Get(key string) (*Metrics, error, bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	e, ok := c.lookup(key)
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, nil, false
+	}
+	c.hits.Add(1)
+	m := e.m
+	return &m, e.err, true
+}
+
+// Put implements EvalCache. Like Memoize's insert path it keeps the first
+// entry when two workers race on one key - results are deterministic, so
+// either copy is right, and re-inserting must not count toward generation
+// fill or trigger a spurious flush. Safe on a nil cache (no-op).
+func (c *Cache) Put(key string, m *Metrics, err error) {
+	if c == nil {
+		return
+	}
+	e := cacheEntry{err: err}
+	if m != nil {
+		e.m = *m
+	}
+	c.mu.Lock()
+	if _, ok := c.lookup(key); !ok {
+		c.insert(key, e)
+	}
+	c.mu.Unlock()
+}
+
 // Evaluate is a memoizing sim.Evaluate. Traced evaluations bypass the cache:
 // their slices are large and the execution-graph renderer only ever runs
 // once per figure.
@@ -152,6 +263,19 @@ type CacheStats struct {
 	// the oldest generation.
 	Entries int   `json:"entries"`
 	Flushes int64 `json:"flushes"`
+	// Rate is HitRate() precomputed at snapshot time, so JSON consumers
+	// (the somad dashboard, /v1/stats scripts) never re-derive it.
+	Rate float64 `json:"hit_rate"`
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 for an unused cache - the one
+// shared definition report, service and somabench format from.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // Stats snapshots the cache counters. Safe on a nil cache.
@@ -162,8 +286,10 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	entries := len(c.cur) + len(c.old)
 	c.mu.Unlock()
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(),
+	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(),
 		Entries: entries, Flushes: c.flushes.Load()}
+	st.Rate = st.HitRate()
+	return st
 }
 
 // ExportMetrics registers pull gauges on reg exposing this cache's counters

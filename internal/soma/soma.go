@@ -154,8 +154,10 @@ type Explorer struct {
 	Par Params
 	// Cache memoizes full schedule evaluations across stages, chains and
 	// allocator iterations (the core-array scheduler keeps its own
-	// per-tile cache underneath).
-	Cache *sim.Cache
+	// per-tile cache underneath). Any sim.EvalCache tier works - soma.New
+	// installs a private in-process sim.Cache, the somad daemon shares one
+	// across jobs, and cluster workers plug in a tiered local+remote cache.
+	Cache sim.EvalCache
 	// Scope namespaces this explorer's cache keys. Canonical keys only
 	// identify a schedule within one (graph, hardware) pair, so anyone
 	// sharing one Cache across several explorers (the somad daemon) must
@@ -217,7 +219,7 @@ func (e *Explorer) stageJournal(stage string) func(int) *obs.Series {
 // infeasible or deadlocked candidates together with the metrics when
 // available.
 func (e *Explorer) cost(s *core.Schedule, budget int64) (float64, *sim.Metrics) {
-	m, err := e.Cache.Evaluate(s, e.CS, sim.Options{BufferBudget: budget, CacheScope: e.Scope})
+	m, err := sim.CachedEvaluate(e.Cache, s, e.CS, sim.Options{BufferBudget: budget, CacheScope: e.Scope})
 	if err != nil {
 		return math.Inf(1), nil
 	}
@@ -242,12 +244,14 @@ func (e *Explorer) Run() (*Result, error) {
 // iterations themselves via RunOnce).
 func (e *Explorer) RunContext(ctx context.Context) (*Result, error) {
 	full := e.Cfg.GBufBytes
-	e.Cache.ExportMetrics(e.Reg)
+	sim.ExportCacheMetrics(e.Cache, e.Reg)
 	e.stage1WallNS, e.stage2WallNS = 0, 0
 	allocIters := e.Reg.Counter("soma_alloc_iters_total",
 		"Buffer Allocator iterations executed.")
 	finish := func(r *Result) *Result {
-		r.Cache = e.Cache.Stats()
+		if e.Cache != nil {
+			r.Cache = e.Cache.Stats()
+		}
 		r.Stage1WallNS, r.Stage2WallNS = e.stage1WallNS, e.stage2WallNS
 		allocIters.Add(int64(r.AllocIters))
 		return r

@@ -43,7 +43,7 @@ func (e *Explorer) RunStage1(ctx context.Context, budget int64, seed int64) (*co
 	// shared initial solution of a portfolio, the winner's re-evaluation
 	// below - costs one map lookup.
 	evalEnc := func(enc *core.Encoding) (*sim.Metrics, error) {
-		return e.Cache.Memoize(sim.Key(e.Scope+encKeyPrefix+enc.CanonicalKey(), budget),
+		return sim.Memoize(e.Cache, sim.Key(e.Scope+encKeyPrefix+enc.CanonicalKey(), budget),
 			func() (*sim.Metrics, error) {
 				s, err := core.Parse(e.G, enc)
 				if err != nil {

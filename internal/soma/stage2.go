@@ -109,7 +109,7 @@ func (ms *stage2Moves) objective(m *sim.Metrics, err error) float64 {
 }
 
 func (ms *stage2Moves) InitCost() float64 {
-	m, err := ms.e.Cache.Memoize(ms.key(), ms.inc.Metrics)
+	m, err := sim.Memoize(ms.e.Cache, ms.key(), ms.inc.Metrics)
 	return ms.objective(m, err)
 }
 
@@ -150,7 +150,7 @@ func (ms *stage2Moves) Propose(rng *rand.Rand) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
-	m, err := ms.e.Cache.Memoize(ms.key(), ms.inc.EvaluateProposal)
+	m, err := sim.Memoize(ms.e.Cache, ms.key(), ms.inc.EvaluateProposal)
 	return ms.objective(m, err), true
 }
 
