@@ -1,0 +1,47 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"soma/internal/dse"
+	"soma/internal/testutil"
+)
+
+// The committed journals under testdata/ are the CLI's byte-level contract:
+// CI re-runs `soma -sweep` against them and the cluster/resume smokes diff the
+// same files. These tests pin them in-process so a divergence fails `go test`
+// before CI ever builds the binary. Regenerate with UPDATE_GOLDENS=1 after an
+// intentional behavior change (see docs/architecture.md).
+func runJournaled(t *testing.T, spec string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := dse.ParseSweep(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	if _, err := dse.Run(context.Background(), sw, dse.Options{Journal: path}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestSweepSmokeGolden(t *testing.T) {
+	got := runJournaled(t, "sweep-smoke.json")
+	testutil.Golden(t, filepath.Join("testdata", "sweep-smoke.golden.jsonl"), got)
+}
+
+func TestAdaptiveSmokeGolden(t *testing.T) {
+	got := runJournaled(t, "adaptive-smoke.json")
+	testutil.Golden(t, filepath.Join("testdata", "adaptive-smoke.golden.jsonl"), got)
+}

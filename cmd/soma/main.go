@@ -15,6 +15,7 @@
 //	soma -scenario my_mix.json -profile fast
 //	soma -sweep grid.json -journal grid.jsonl -progress
 //	soma -sweep grid.json -journal grid.jsonl -workers host1:8844,host2:8844
+//	soma -sweep grid.json -adaptive -budget 12 # probe the grid, solve near the front
 //	soma -model resnet50 -telemetry            # search metrics on stderr
 //	soma -model resnet50 -convergence-out c.json # annealing trajectory + diagnostics
 //	soma -sweep grid.json -trace-out grid.json # Perfetto trace of the sweep
@@ -66,6 +67,8 @@ func main() {
 	scenario := flag.String("scenario", "", "schedule a multi-model scenario: a built-in name (see -list) or a JSON spec file")
 	sweep := flag.String("sweep", "", "run a design-space exploration grid from a JSON sweep spec file (docs/dse.md)")
 	journal := flag.String("journal", "", "sweep checkpoint file (JSONL); an interrupted sweep resumes from its committed prefix")
+	adaptive := flag.Bool("adaptive", false, "run the sweep adaptively: cheap probe solves across the grid, full-fidelity solves only near the Pareto front (docs/dse.md)")
+	budget := flag.Int("budget", 0, "with -adaptive, the full-fidelity solve budget (0 = the spec's value or the default fraction of the grid)")
 	telemetry := flag.Bool("telemetry", false, "dump search metrics in Prometheus text format to stderr after the run (docs/observability.md)")
 	convergenceOut := flag.String("convergence-out", "", "write the run's convergence journal and search diagnostics to this file as JSON (docs/observability.md)")
 	traceOut := flag.String("trace-out", "", "write the solve's span trace to this file as Chrome trace-event JSON (load at ui.perfetto.dev)")
@@ -139,7 +142,8 @@ func main() {
 		// any that were set explicitly.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "sweep", "journal", "json", "progress", "telemetry", "trace-out":
+			case "sweep", "journal", "json", "progress", "telemetry", "trace-out",
+				"adaptive", "budget":
 			case "workers":
 				// Allowed only in its cluster-address-list form: a numeric
 				// -workers is a search parameter the spec owns.
@@ -150,12 +154,15 @@ func main() {
 				fatal(fmt.Errorf("-sweep specs declare their own axes and parameters; -%s is not allowed", f.Name))
 			}
 		})
-		runSweep(*sweep, *journal, *jsonOut, clusterWorkers, hooks, o)
+		runSweep(*sweep, *journal, *jsonOut, *adaptive, *budget, clusterWorkers, hooks, o)
 		flushObs(o, *telemetry, *traceOut)
 		return
 	}
 	if *journal != "" {
 		fatal(fmt.Errorf("-journal applies to -sweep runs only"))
+	}
+	if *adaptive || *budget != 0 {
+		fatal(fmt.Errorf("-adaptive and -budget apply to -sweep runs only"))
 	}
 	if clusterWorkers != nil {
 		fatal(fmt.Errorf("a -workers address list applies to -sweep runs only"))
@@ -477,15 +484,28 @@ func printProgress(e engine.Event) {
 		fmt.Fprintf(os.Stderr, "[%s] failed: %s\n", who, e.Err)
 	case "sweep-start":
 		fmt.Fprintf(os.Stderr, "[%s] sweep started, %d grid points\n", who, e.Iter)
+	case "rung-start":
+		fmt.Fprintf(os.Stderr, "[%s] %s rung started, %d points\n", who, e.Stage, e.Iter)
+	case "rung-done":
+		fmt.Fprintf(os.Stderr, "[%s] %s rung done\n", who, e.Stage)
 	case "point-start":
-		fmt.Fprintf(os.Stderr, "[%s] point %d started\n", who, e.Iter)
+		fmt.Fprintf(os.Stderr, "[%s] point %d%s started\n", who, e.Iter, stageTag(e.Stage))
 	case "point-done":
-		fmt.Fprintf(os.Stderr, "[%s] point %d done, cost %s\n", who, e.Iter, report.E(e.Cost))
+		fmt.Fprintf(os.Stderr, "[%s] point %d%s done, cost %s\n", who, e.Iter, stageTag(e.Stage), report.E(e.Cost))
 	case "point-error":
 		fmt.Fprintf(os.Stderr, "[%s] point %d failed: %s\n", who, e.Iter, e.Err)
 	case "sweep-done":
 		fmt.Fprintf(os.Stderr, "[%s] sweep finished, best cost %s\n", who, report.E(e.Cost))
 	}
+}
+
+// stageTag renders an adaptive rung fidelity as a point-event suffix;
+// exhaustive sweeps carry no stage and print unchanged.
+func stageTag(s string) string {
+	if s == "" {
+		return ""
+	}
+	return " [" + s + "]"
 }
 
 func fatal(err error) {

@@ -22,7 +22,7 @@ import (
 // the cluster instead (docs/cluster.md). The JSONL journal is the canonical
 // byte-comparable artifact - identical for any worker count, serial or
 // sharded, and across interruptions.
-func runSweep(path, journal string, jsonOut bool, clusterWorkers []string, hooks *engine.Hooks, o *obs.Obs) {
+func runSweep(path, journal string, jsonOut, adaptive bool, budget int, clusterWorkers []string, hooks *engine.Hooks, o *obs.Obs) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -30,6 +30,18 @@ func runSweep(path, journal string, jsonOut bool, clusterWorkers []string, hooks
 	sw, err := dse.ParseSweep(data)
 	if err != nil {
 		fatal(err)
+	}
+	// -adaptive switches a plain spec to the successive-halving driver with
+	// default knobs; a spec that already declares an adaptive block keeps it.
+	// -budget overrides the full-fidelity solve budget either way.
+	if adaptive && sw.Adaptive == nil {
+		sw.Adaptive = &dse.Adaptive{}
+	}
+	if budget != 0 {
+		if sw.Adaptive == nil {
+			fatal(fmt.Errorf("-budget needs -adaptive (or an adaptive block in the spec)"))
+		}
+		sw.Adaptive.Budget = budget
 	}
 	var out *dse.Outcome
 	if len(clusterWorkers) > 0 {
@@ -91,16 +103,25 @@ func printSweepReport(out *dse.Outcome) {
 
 	t := report.New("grid", "point", "cost", "latency", "energy", "dram busy", "peak buf")
 	for _, row := range out.Rows {
+		label := row.Point.Label()
+		if row.Fidelity != "" {
+			label += " [" + row.Fidelity + "]"
+		}
 		if row.Err != "" {
-			t.Add(row.Point.Label(), "ERROR: "+row.Err)
+			t.Add(label, "ERROR: "+row.Err)
 			continue
 		}
 		m := row.Result.Metrics
-		t.Add(row.Point.Label(), report.E(row.Result.Cost), report.Ms(m.LatencyNS),
+		t.Add(label, report.E(row.Result.Cost), report.Ms(m.LatencyNS),
 			fmt.Sprintf("%.3f mJ", m.EnergyPJ/1e9), report.Pct(m.DRAMUtilization),
 			report.MB(m.PeakBufferBytes))
 	}
 	fmt.Println(t.String())
+
+	if a := out.Adaptive; a != nil {
+		fmt.Printf("adaptive: %d probes, %d promoted to full fidelity (%d by exploration), %d full solves saved\n",
+			a.Probes, a.Promotions, a.Explored, a.SolvesSaved)
+	}
 
 	if best := out.Best(); best != nil {
 		fmt.Printf("best: %s at cost %s\n", best.Point.Label(), report.E(best.Result.Cost))

@@ -220,12 +220,12 @@ func TestWorkerRejectsDigestMismatch(t *testing.T) {
 
 func TestNormalizeWorkerURL(t *testing.T) {
 	cases := map[string]string{
-		"host:8080":           "http://host:8080",
-		"http://host:8080":    "http://host:8080",
-		"http://host:8080/":   "http://host:8080",
-		"https://host":        "https://host",
-		"":                    "",
-		"127.0.0.1:8871":      "http://127.0.0.1:8871",
+		"host:8080":         "http://host:8080",
+		"http://host:8080":  "http://host:8080",
+		"http://host:8080/": "http://host:8080",
+		"https://host":      "https://host",
+		"":                  "",
+		"127.0.0.1:8871":    "http://127.0.0.1:8871",
 	}
 	for in, want := range cases {
 		if got := NormalizeWorkerURL(in); got != want {

@@ -136,9 +136,15 @@ func (n *node) cancelInflight(cause error) {
 	}
 }
 
-// lease is a unit of dispatch: a deterministic chunk of point indices.
+// lease is a unit of dispatch: a deterministic chunk of the coordinator's
+// dispatch sequence. pos are sequence positions (journal-commit order),
+// indices the corresponding canonical point indices (what the worker
+// computes). For exhaustive sweeps the two are identical; for an adaptive
+// rung the sequence is the rung's own grid (all points, then the promoted
+// subset) and indices differ.
 type lease struct {
 	id       string
+	pos      []int
 	indices  []int
 	attempts int
 }
@@ -171,6 +177,8 @@ func Run(ctx context.Context, sw dse.Sweep, opt Options) (*dse.Outcome, error) {
 
 	// Initial probe: a cluster run with zero reachable workers is a plain
 	// local sweep, not an error - the flag must never break the sweep.
+	// dse.Run dispatches adaptive specs itself, so degradation covers both
+	// modes.
 	nodes := probeWorkers(ctx, opt)
 	reg := opt.Obs.Registry()
 	if len(nodes) == 0 {
@@ -179,6 +187,10 @@ func Run(ctx context.Context, sw dse.Sweep, opt Options) (*dse.Outcome, error) {
 			"Sweeps that fell back to pure-local execution at start.").Inc()
 		return dse.Run(ctx, sw, dse.Options{Cache: opt.Cache,
 			Hooks: opt.Hooks, Journal: opt.Journal, Obs: opt.Obs})
+	}
+
+	if sw.Adaptive != nil {
+		return runAdaptive(ctx, sw, pts, digest, nodes, opt)
 	}
 
 	out := &dse.Outcome{Name: sw.Name, SpecSHA256: digest, Points: len(pts), BestIndex: -1}
@@ -209,12 +221,13 @@ func Run(ctx context.Context, sw dse.Sweep, opt Options) (*dse.Outcome, error) {
 
 	opt.Hooks.Emit(engine.Event{Kind: "sweep-start", Component: sw.Name, Iter: len(pts)})
 
-	c := &coord{sw: sw, digest: digest, opt: &opt, nodes: nodes, pts: pts,
-		out: out, jw: jw, done: make([]bool, len(pts)), frontier: start,
-		cache: cache, results: make(chan result),
-		localCh: make(chan *lease, (len(pts)-start)/opt.LeasePoints+1)}
-	c.exportMetrics(reg)
-	if err := c.run(ctx, pts, start); err != nil {
+	// Exhaustive dispatch: the sequence is the grid itself.
+	seq := make([]int, len(pts))
+	for i := range seq {
+		seq[i] = i
+	}
+	c := newCoord(sw, digest, &opt, nodes, pts, seq, "", out.Rows, jw, start, cache)
+	if err := c.run(ctx, start); err != nil {
 		return nil, err
 	}
 
@@ -231,6 +244,76 @@ func Run(ctx context.Context, sw dse.Sweep, opt Options) (*dse.Outcome, error) {
 	}
 	out.Pareto = dse.CostVsBufferFront(out.Rows)
 	out.Cache = cache.Stats()
+	opt.Hooks.Emit(engine.Event{Kind: "sweep-done", Component: sw.Name, Cost: bestCost})
+	return out, nil
+}
+
+// runAdaptive coordinates a successive-halving sweep: the probe rung shards
+// the whole grid across the workers, the promotion decision replays the same
+// deterministic dse.AdaptiveRun state machine the local driver uses, and the
+// full-fidelity rung shards the promoted subset - each rung an ordinary
+// lease grid, so heartbeats, reassignment, dedup-at-commit and local
+// fallback all apply per rung unchanged. The journal (probe rows in point
+// order, then promotions in point order) is byte-identical to a serial
+// dse.RunAdaptive of the same spec.
+func runAdaptive(ctx context.Context, sw dse.Sweep, pts []dse.Point, digest string,
+	nodes []*node, opt Options) (*dse.Outcome, error) {
+	a, err := dse.NewAdaptiveRun(sw)
+	if err != nil {
+		return nil, err
+	}
+	var jw *dse.JournalWriter
+	resumed := 0
+	if opt.Journal != "" {
+		lines, err := a.LoadJournal(opt.Journal)
+		if err != nil {
+			return nil, err
+		}
+		if jw, err = dse.OpenJournal(opt.Journal, sw, digest, len(pts), lines); err != nil {
+			return nil, err
+		}
+		defer jw.Close()
+		resumed = len(lines)
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = sim.NewCache(0)
+	}
+
+	opt.Hooks.Emit(engine.Event{Kind: "sweep-start", Component: sw.Name, Iter: len(pts)})
+
+	seq := make([]int, len(pts))
+	for i := range seq {
+		seq[i] = i
+	}
+	opt.Hooks.Emit(engine.Event{Kind: "rung-start", Component: sw.Name,
+		Stage: dse.FidelityProbe, Iter: len(pts) - a.ProbeDone})
+	c0 := newCoord(sw, digest, &opt, nodes, pts, seq, dse.FidelityProbe, a.Probes, jw, a.ProbeDone, cache)
+	if err := c0.run(ctx, a.ProbeDone); err != nil {
+		return nil, err
+	}
+	a.ProbeDone = len(pts)
+	opt.Hooks.Emit(engine.Event{Kind: "rung-done", Component: sw.Name,
+		Stage: dse.FidelityProbe, Iter: len(pts)})
+
+	a.Promote()
+	a.RecordMetrics(opt.Obs)
+
+	opt.Hooks.Emit(engine.Event{Kind: "rung-start", Component: sw.Name,
+		Stage: dse.FidelityFull, Iter: len(a.Promoted) - a.FullDone})
+	c1 := newCoord(sw, digest, &opt, nodes, pts, a.Promoted, dse.FidelityFull, a.Fulls, jw, a.FullDone, cache)
+	if err := c1.run(ctx, a.FullDone); err != nil {
+		return nil, err
+	}
+	a.FullDone = len(a.Promoted)
+	opt.Hooks.Emit(engine.Event{Kind: "rung-done", Component: sw.Name,
+		Stage: dse.FidelityFull, Iter: len(a.Promoted)})
+
+	out := a.Outcome(resumed, cache)
+	bestCost := -1.0
+	if b := out.Best(); b != nil {
+		bestCost = b.Result.Cost
+	}
 	opt.Hooks.Emit(engine.Event{Kind: "sweep-done", Component: sw.Name, Cost: bestCost})
 	return out, nil
 }
@@ -295,8 +378,9 @@ func pingWorker(ctx context.Context, hc *http.Client, url string, timeout time.D
 	return resp.StatusCode == http.StatusOK
 }
 
-// coord is the dispatch-loop state. Except where noted on node, every field
-// is owned by the single run() goroutine.
+// coord is the dispatch-loop state for one dispatch sequence - a whole
+// exhaustive grid, or one adaptive rung. Except where noted on node, every
+// field is owned by the single run() goroutine.
 type coord struct {
 	sw     dse.Sweep
 	digest string
@@ -305,7 +389,15 @@ type coord struct {
 	pts    []dse.Point
 	cache  sim.EvalCache
 
-	out      *dse.Outcome
+	// seq is the dispatch sequence (seq[pos] = canonical point index), fid
+	// the rung fidelity carried by every lease ("" for exhaustive), rows
+	// the sequence-position-indexed result store the caller owns. done and
+	// frontier are also by sequence position: the journal commits rows in
+	// sequence order.
+	seq  []int
+	fid  string
+	rows []dse.Row
+
 	jw       *dse.JournalWriter
 	done     []bool
 	frontier int
@@ -318,6 +410,20 @@ type coord struct {
 	reassignments *obs.Counter
 	deduped       *obs.Counter
 	committed     int
+}
+
+// newCoord builds the dispatch state for one sequence, resuming after the
+// first start positions (already loaded from the journal).
+func newCoord(sw dse.Sweep, digest string, opt *Options, nodes []*node, pts []dse.Point,
+	seq []int, fid string, rows []dse.Row, jw *dse.JournalWriter, start int,
+	cache sim.EvalCache) *coord {
+	c := &coord{sw: sw, digest: digest, opt: opt, nodes: nodes, pts: pts,
+		seq: seq, fid: fid, rows: rows, jw: jw,
+		done: make([]bool, len(seq)), frontier: start,
+		cache: cache, results: make(chan result),
+		localCh: make(chan *lease, (len(seq)-start)/opt.LeasePoints+1)}
+	c.exportMetrics(opt.Obs.Registry())
+	return c
 }
 
 func (c *coord) exportMetrics(reg *obs.Registry) {
@@ -340,56 +446,64 @@ func (c *coord) exportMetrics(reg *obs.Registry) {
 		"Duplicate point deliveries ignored at the journal commit point.")
 }
 
-// commit merges one delivered row set into the outcome, ignoring duplicates
-// (at-least-once dispatch makes double delivery legal) and advancing the
-// in-order journal frontier - the exactly-once point of the whole design.
+// commit merges one delivered row set into the sequence store, ignoring
+// duplicates (at-least-once dispatch makes double delivery legal) and
+// advancing the in-order journal frontier - the exactly-once point of the
+// whole design.
 func (c *coord) commit(l *lease, rows []dse.Row) {
-	for j, idx := range l.indices {
-		if c.done[idx] {
+	for j, pos := range l.pos {
+		if c.done[pos] {
 			c.deduped.Inc()
 			continue
 		}
-		c.out.Rows[idx] = rows[j]
-		c.done[idx] = true
+		c.rows[pos] = rows[j]
+		c.done[pos] = true
 		c.committed++
-		row := &c.out.Rows[idx]
+		idx := c.seq[pos]
+		row := &c.rows[pos]
 		if row.Err != "" {
 			c.opt.Hooks.Emit(engine.Event{Kind: "point-error",
-				Component: row.Point.Label(), Iter: idx, Err: row.Err})
+				Component: row.Point.Label(), Stage: c.fid, Iter: idx, Err: row.Err})
 		} else if row.Result != nil {
 			c.opt.Hooks.Emit(engine.Event{Kind: "point-done",
-				Component: row.Point.Label(), Iter: idx, Cost: row.Result.Cost})
+				Component: row.Point.Label(), Stage: c.fid, Iter: idx, Cost: row.Result.Cost})
 		}
 	}
 	for c.frontier < len(c.done) && c.done[c.frontier] {
 		if c.jw != nil && c.werr == nil {
-			c.werr = c.jw.Append(c.out.Rows[c.frontier].Scrubbed())
+			c.werr = c.jw.Append(c.rows[c.frontier].Scrubbed())
 		}
 		c.frontier++
 	}
 }
 
-// run drives dispatch until every point is committed or ctx dies.
-func (c *coord) run(ctx context.Context, pts []dse.Point, start int) error {
+// run drives dispatch until every sequence position is committed or ctx dies.
+func (c *coord) run(ctx context.Context, start int) error {
 	opt := c.opt
 	runCtx, stop := context.WithCancel(ctx)
 	defer stop()
 
-	// Partition deterministically: consecutive chunks in canonical index
-	// order, so lease boundaries never depend on worker behavior.
+	// Partition deterministically: consecutive chunks in sequence order, so
+	// lease boundaries never depend on worker behavior.
 	var pending []*lease
-	for lo := start; lo < len(pts); lo += opt.LeasePoints {
+	for lo := start; lo < len(c.seq); lo += opt.LeasePoints {
 		hi := lo + opt.LeasePoints
-		if hi > len(pts) {
-			hi = len(pts)
+		if hi > len(c.seq) {
+			hi = len(c.seq)
 		}
+		pos := make([]int, 0, hi-lo)
 		indices := make([]int, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			indices = append(indices, i)
+		for p := lo; p < hi; p++ {
+			pos = append(pos, p)
+			indices = append(indices, c.seq[p])
 		}
-		pending = append(pending, &lease{id: fmt.Sprintf("lease-%04d", lo), indices: indices})
+		id := fmt.Sprintf("lease-%04d", lo)
+		if c.fid != "" {
+			id = fmt.Sprintf("lease-%s-%04d", c.fid, lo)
+		}
+		pending = append(pending, &lease{id: id, pos: pos, indices: indices})
 	}
-	need := len(pts) - start
+	need := len(c.seq) - start
 
 	// Local fallback executors: leases that exhaust remote attempts (or
 	// find no workers alive) run here through dse.RunPoints with the
@@ -402,7 +516,7 @@ func (c *coord) run(ctx context.Context, pts []dse.Point, start int) error {
 			defer localWG.Done()
 			for l := range c.localCh {
 				rows, err := dse.RunPoints(runCtx, c.sw, l.indices,
-					dse.Options{Cache: c.cache, Obs: opt.Obs})
+					dse.Options{Cache: c.cache, Obs: opt.Obs, Fidelity: c.fid})
 				select {
 				case c.results <- result{l: l, rows: rows, err: err}:
 				case <-runCtx.Done():
@@ -540,7 +654,7 @@ func (c *coord) dispatch(ctx context.Context, n *node, l *lease) {
 	n.setCancel(cancel)
 	for _, idx := range l.indices {
 		c.opt.Hooks.Emit(engine.Event{Kind: "point-start",
-			Component: c.pts[idx].Label(), Iter: idx})
+			Component: c.pts[idx].Label(), Stage: c.fid, Iter: idx})
 	}
 	go func() {
 		defer cancel(nil)
@@ -561,7 +675,7 @@ func (c *coord) doLease(ctx context.Context, n *node, l *lease) ([]dse.Row, erro
 	var resp LeaseResponse
 	err := postJSON(tctx, c.opt.Client, n.url+PathLease, LeaseRequest{
 		LeaseID: l.id, Spec: c.sw, SpecSHA256: c.digest,
-		Indices: l.indices, CacheURL: c.opt.CacheURL}, &resp)
+		Indices: l.indices, CacheURL: c.opt.CacheURL, Fidelity: c.fid}, &resp)
 	if err != nil {
 		if cause := context.Cause(ctx); cause != nil && ctx.Err() != nil {
 			return nil, cause
@@ -575,6 +689,10 @@ func (c *coord) doLease(ctx context.Context, n *node, l *lease) ([]dse.Row, erro
 		if resp.Rows[j].Point.Index != idx {
 			return nil, fmt.Errorf("cluster: %s returned row for point %d at position %d (want %d)",
 				n.url, resp.Rows[j].Point.Index, j, idx)
+		}
+		if resp.Rows[j].Fidelity != c.fid {
+			return nil, fmt.Errorf("cluster: %s returned fidelity %q rows for a %q lease (worker version skew?)",
+				n.url, resp.Rows[j].Fidelity, c.fid)
 		}
 	}
 	return resp.Rows, nil

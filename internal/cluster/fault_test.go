@@ -202,10 +202,10 @@ func TestFaultKillWorkerMidSweep(t *testing.T) {
 func TestCommitDedup(t *testing.T) {
 	reg := obs.NewRegistry()
 	out := &dse.Outcome{Rows: make([]dse.Row, 3)}
-	c := &coord{opt: &Options{}, out: out, done: make([]bool, 3)}
+	c := &coord{opt: &Options{}, seq: []int{0, 1, 2}, rows: out.Rows, done: make([]bool, 3)}
 	c.exportMetrics(reg)
 
-	l := &lease{id: "lease-0000", indices: []int{0, 1}}
+	l := &lease{id: "lease-0000", pos: []int{0, 1}, indices: []int{0, 1}}
 	first := []dse.Row{
 		{Point: dse.Point{Index: 0, Seed: 11}},
 		{Point: dse.Point{Index: 1, Seed: 12}},
@@ -233,7 +233,7 @@ func TestCommitDedup(t *testing.T) {
 	}
 
 	// Out-of-order delivery holds the frontier until the gap fills.
-	c.commit(&lease{id: "lease-0002", indices: []int{2}},
+	c.commit(&lease{id: "lease-0002", pos: []int{2}, indices: []int{2}},
 		[]dse.Row{{Point: dse.Point{Index: 2, Seed: 13}}})
 	if c.committed != 3 || c.frontier != 3 {
 		t.Fatalf("committed=%d frontier=%d after final delivery", c.committed, c.frontier)

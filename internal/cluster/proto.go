@@ -27,7 +27,7 @@ const (
 type LeaseRequest struct {
 	// LeaseID names the lease for logs and responses; it is deterministic
 	// per (spec, indices) so retried dispatches are recognizable.
-	LeaseID string `json:"lease_id"`
+	LeaseID string    `json:"lease_id"`
 	Spec    dse.Sweep `json:"spec"`
 	// SpecSHA256 is the coordinator's spec digest. Workers re-derive the
 	// digest from Spec and reject a mismatch: after a version skew the two
@@ -38,6 +38,11 @@ type LeaseRequest struct {
 	// CacheURL, when set, is the coordinator's remote evaluation-cache
 	// base URL; the worker evaluates through a local-L1/remote-L2 tier.
 	CacheURL string `json:"cache_url,omitempty"`
+	// Fidelity is the adaptive rung the lease belongs to
+	// (dse.FidelityProbe / dse.FidelityFull; "" for exhaustive sweeps).
+	// Workers solve probe leases at dse.ProbeParams fidelity and stamp the
+	// rows, so a rung's lease grid shards exactly like an exhaustive one.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // LeaseResponse returns the computed rows, Scrubbed, in Indices order.

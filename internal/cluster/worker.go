@@ -93,7 +93,7 @@ func (w *Worker) handleLease(rw http.ResponseWriter, r *http.Request) {
 	reg := w.Obs.Registry()
 	start := time.Now()
 	rows, err := dse.RunPoints(r.Context(), req.Spec, req.Indices,
-		dse.Options{Cache: w.tier(req.CacheURL), Obs: w.Obs})
+		dse.Options{Cache: w.tier(req.CacheURL), Obs: w.Obs, Fidelity: req.Fidelity})
 	if err != nil {
 		reg.Counter("cluster_worker_leases_total", "Leases served by outcome.",
 			"outcome", "error").Inc()

@@ -1,0 +1,384 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"soma/internal/engine"
+	"soma/internal/obs"
+	"soma/internal/sim"
+	"soma/internal/soma"
+)
+
+// Fidelity values carried by adaptive rows (Row.Fidelity). Exhaustive rows
+// leave the field empty, which keeps pre-adaptive journals byte-identical
+// under the extended schema.
+const (
+	FidelityProbe = "probe"
+	FidelityFull  = "full"
+)
+
+// ProbeParams scales a resolved parameter set down to rung-0 probe fidelity:
+// a single annealing chain with quartered stage multipliers and capped
+// iteration counts. Probes exist to rank regions of the grid, not to find
+// the best schedule, so they trade solution quality for a large constant
+// factor in wall time. Deterministic: the probe of a point is as much a pure
+// function of the spec as its full solve.
+func ProbeParams(par soma.Params) soma.Params {
+	par.Chains, par.Workers = 0, 0 // single chain, no portfolio
+	if par.Beta1 > 1 {
+		par.Beta1 = (par.Beta1 + 3) / 4
+	}
+	if par.Beta2 > 1 {
+		par.Beta2 = (par.Beta2 + 3) / 4
+	}
+	if par.Stage1MaxIters > 800 {
+		par.Stage1MaxIters = 800
+	}
+	if par.Stage2MaxIters > 1500 {
+		par.Stage2MaxIters = 1500
+	}
+	par.Patience = 1
+	return par
+}
+
+// AdaptiveStats summarizes what the successive-halving driver spent and
+// saved; Outcome.Adaptive carries it for the CLI report, the somad API and
+// the dse_adaptive_* metrics.
+type AdaptiveStats struct {
+	// Budget is the resolved full-fidelity cap; Probes the grid size
+	// (every point is probed); Promotions the full solves actually issued,
+	// of which Explored came from the seeded exploration quota rather than
+	// the front band.
+	Budget     int `json:"budget"`
+	Probes     int `json:"probes"`
+	Promotions int `json:"promotions"`
+	Explored   int `json:"explored"`
+	// SolvesSaved is Probes - Promotions: the full-fidelity solves an
+	// exhaustive run of the same grid would have issued but this run
+	// skipped.
+	SolvesSaved int `json:"solves_saved"`
+}
+
+// AdaptiveRun is the deterministic state machine behind RunAdaptive and the
+// cluster coordinator's adaptive path: grid expansion, the two-rung row
+// stores, the promotion decision and the journal-resume rules all live here
+// so the local and sharded drivers cannot drift. The journal layout is the
+// dispatch sequence flattened: probe rows 0..N-1 in point-index order, then
+// the promoted full-fidelity rows in ascending point-index order.
+type AdaptiveRun struct {
+	Sweep  Sweep
+	Ad     Adaptive // resolved (withDefaults) block
+	Pts    []Point
+	Digest string
+
+	// Probes is point-indexed (rung 0 is the identity sequence); Fulls is
+	// promotion-order-indexed. ProbeDone/FullDone count the journal-resumed
+	// prefix of each rung.
+	Probes    []Row
+	ProbeDone int
+	Promoted  []int // ascending point indices promoted to full fidelity
+	Explored  int   // how many of Promoted came from the exploration quota
+	Fulls     []Row
+	FullDone  int
+
+	par   soma.Params
+	dists []float64 // per-point probe front distance (NaN = failed/unscored)
+}
+
+// NewAdaptiveRun expands and validates an adaptive spec.
+func NewAdaptiveRun(sw Sweep) (*AdaptiveRun, error) {
+	if sw.Adaptive == nil {
+		return nil, fmt.Errorf("dse: sweep spec has no adaptive block")
+	}
+	pts, err := sw.Expand()
+	if err != nil {
+		return nil, err
+	}
+	_, par, err := sw.normalized()
+	if err != nil {
+		return nil, err
+	}
+	digest, err := sw.SpecSHA256()
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveRun{
+		Sweep: sw, Ad: sw.Adaptive.withDefaults(len(pts)),
+		Pts: pts, Digest: digest, par: par,
+		Probes: make([]Row, len(pts)),
+	}, nil
+}
+
+// LoadJournal loads the committed prefix of an adaptive journal into the
+// run's rung stores and returns the raw prefix lines (rewritten verbatim by
+// OpenJournal, so resumed rows never re-marshal). The trusted prefix ends at
+// the first row that contradicts the deterministic sequence: a probe row out
+// of index order, or a full row whose point is not the next recomputed
+// promotion - everything after is distrusted, exactly like a torn tail.
+func (a *AdaptiveRun) LoadJournal(path string) ([][]byte, error) {
+	n := len(a.Pts)
+	rows, lines, err := loadJournal(path, a.Digest, n, func(k int, row Row) bool {
+		if k < n {
+			return row.Point.Index == k && row.Fidelity == FidelityProbe
+		}
+		return row.Point.Index < n && row.Fidelity == FidelityFull
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.ProbeDone = len(rows)
+	if a.ProbeDone > n {
+		a.ProbeDone = n
+	}
+	copy(a.Probes, rows[:a.ProbeDone])
+	if a.ProbeDone < n {
+		return lines, nil
+	}
+	// Rung 0 is complete: the promotion set is a pure function of the probe
+	// rows, so recompute it and validate the full-row tail against it.
+	a.Promote()
+	for _, row := range rows[n:] {
+		if a.FullDone >= len(a.Promoted) || row.Point.Index != a.Promoted[a.FullDone] {
+			break
+		}
+		a.Fulls[a.FullDone] = row
+		a.FullDone++
+	}
+	return lines[:n+a.FullDone], nil
+}
+
+// Promote computes the rung-1 promotion set from the completed probe rows.
+// Idempotent; a pure function of (probe rows, resolved adaptive block, spec
+// seed), which is what lets a resumed or sharded run re-derive the same set.
+func (a *AdaptiveRun) Promote() {
+	if a.Promoted != nil || a.Fulls != nil {
+		return
+	}
+	a.Promoted, a.Explored, a.dists = promote(a.Probes, a.Ad, a.par.Seed)
+	a.Fulls = make([]Row, len(a.Promoted))
+}
+
+// promote is the Pareto-guided selection: rank successful probes by relative
+// distance to the probe-level cost-vs-buffer front staircase, take the
+// in-band closest up to budget minus the exploration quota, then fill the
+// remaining budget by a seeded deterministic draw from the leftover pool.
+// Failed probes are never promoted - their error row is the point's final
+// answer, like an infeasible exhaustive cell.
+func promote(probes []Row, ad Adaptive, seed int64) (promoted []int, explored int, dists []float64) {
+	dists = make([]float64, len(probes))
+	var ok []int
+	for i := range dists {
+		dists[i] = math.NaN()
+		if probes[i].Err == "" && probes[i].Result != nil {
+			ok = append(ok, i)
+		}
+	}
+	if len(ok) == 0 {
+		return nil, 0, dists
+	}
+	// dists[i] = (cost_i - f(buf_i)) / f(buf_i), where f is the front
+	// staircase: the best probe cost achieved at or below i's buffer size.
+	for _, i := range ok {
+		front := math.Inf(1)
+		for _, j := range ok {
+			if probes[j].Result.Hardware.GBufBytes <= probes[i].Result.Hardware.GBufBytes &&
+				probes[j].Result.Cost < front {
+				front = probes[j].Result.Cost
+			}
+		}
+		if front > 0 && !math.IsInf(front, 1) {
+			dists[i] = (probes[i].Result.Cost - front) / front
+		} else {
+			dists[i] = 0
+		}
+	}
+
+	budget := ad.Budget
+	if budget > len(ok) {
+		budget = len(ok)
+	}
+	quota := ad.Explore
+	if quota > budget {
+		quota = budget
+	}
+	ranked := append([]int(nil), ok...)
+	sort.SliceStable(ranked, func(x, y int) bool {
+		if dists[ranked[x]] != dists[ranked[y]] {
+			return dists[ranked[x]] < dists[ranked[y]]
+		}
+		return ranked[x] < ranked[y]
+	})
+	chosen := map[int]bool{}
+	for _, i := range ranked {
+		if len(chosen) >= budget-quota || dists[i] > ad.Epsilon {
+			break // band exhausted: leftover capacity goes to exploration
+		}
+		chosen[i] = true
+	}
+	// Exploration: fill the rest of the budget from the unchosen successful
+	// pool, ordered by a fixed-seed permutation - deterministic for any
+	// worker count, but not biased toward the (possibly misleading) probe
+	// front.
+	var pool []int
+	for _, i := range ok {
+		if !chosen[i] {
+			pool = append(pool, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range rng.Perm(len(pool)) {
+		if len(chosen) >= budget {
+			break
+		}
+		chosen[pool[p]] = true
+		explored++
+	}
+	for i := range chosen {
+		promoted = append(promoted, i)
+	}
+	sort.Ints(promoted)
+	return promoted, explored, dists
+}
+
+// Outcome assembles the final adaptive outcome: one row per grid point in
+// canonical index order - the full-fidelity row where the point was
+// promoted, its probe row otherwise - so every exhaustive aggregate (Best,
+// CostVsBufferFront, BestPerAxis, convergence scrubbing) works unchanged.
+func (a *AdaptiveRun) Outcome(resumed int, cache sim.EvalCache) *Outcome {
+	out := &Outcome{Name: a.Sweep.Name, SpecSHA256: a.Digest,
+		Points: len(a.Pts), Resumed: resumed, BestIndex: -1}
+	out.Rows = make([]Row, len(a.Pts))
+	copy(out.Rows, a.Probes)
+	for j, idx := range a.Promoted {
+		out.Rows[idx] = a.Fulls[j]
+	}
+	bestCost := math.Inf(1)
+	for i := range out.Rows {
+		r := &out.Rows[i]
+		if r.Err != "" {
+			out.Failed++
+			continue
+		}
+		if r.Result != nil && r.Result.Cost < bestCost {
+			out.BestIndex, bestCost = i, r.Result.Cost
+		}
+	}
+	out.Pareto = CostVsBufferFront(out.Rows)
+	if cache != nil {
+		out.Cache = cache.Stats()
+	}
+	out.Adaptive = &AdaptiveStats{
+		Budget:      a.Ad.Budget,
+		Probes:      len(a.Pts),
+		Promotions:  len(a.Promoted),
+		Explored:    a.Explored,
+		SolvesSaved: len(a.Pts) - len(a.Promoted),
+	}
+	return out
+}
+
+// bestCostOf returns the outcome's best-cost hook value (-1 when every point
+// failed, matching the Hooks convention).
+func bestCostOf(out *Outcome) float64 {
+	if b := out.Best(); b != nil {
+		return b.Result.Cost
+	}
+	return -1
+}
+
+// RecordMetrics emits the dse_adaptive_* series after promotion: probe and
+// promotion counts (front band vs exploration quota), the solves saved
+// against an exhaustive run, and the front-distance histogram of the probe
+// costs the decision ranked.
+func (a *AdaptiveRun) RecordMetrics(o *obs.Obs) {
+	reg := o.Registry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("dse_adaptive_probes_total",
+		"Probe-fidelity solves issued by adaptive sweeps.").Add(int64(len(a.Pts)))
+	reg.Counter("dse_adaptive_promotions_total",
+		"Points promoted to full fidelity, by selection kind.",
+		"kind", "front").Add(int64(len(a.Promoted) - a.Explored))
+	reg.Counter("dse_adaptive_promotions_total",
+		"Points promoted to full fidelity, by selection kind.",
+		"kind", "explore").Add(int64(a.Explored))
+	reg.Counter("dse_adaptive_solves_saved_total",
+		"Full-fidelity solves an exhaustive run would have issued but the adaptive driver skipped.").
+		Add(int64(len(a.Pts) - len(a.Promoted)))
+	h := reg.Histogram("dse_adaptive_front_distance",
+		"Relative distance of each successful probe cost to the probe-level cost-vs-buffer front.")
+	for _, d := range a.dists {
+		if !math.IsNaN(d) {
+			h.Observe(d)
+		}
+	}
+}
+
+// RunAdaptive executes an adaptive sweep locally: probe every grid point at
+// reduced fidelity (rung 0), promote the budgeted points nearest the probe
+// front plus a seeded exploration quota, and solve only those at full
+// fidelity (rung 1). Journals share the exhaustive format and commit
+// discipline - header, then rows at an in-order frontier (probes by point
+// index, then promotions by point index) - so serial, parallel and
+// interrupted-then-resumed adaptive runs produce byte-identical files and
+// all exhaustive tooling (resume, aggregation, cluster sharding) applies
+// per rung. Run dispatches here whenever the spec carries an adaptive block.
+func RunAdaptive(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
+	a, err := NewAdaptiveRun(sw)
+	if err != nil {
+		return nil, err
+	}
+	var jw *JournalWriter
+	resumed := 0
+	if opt.Journal != "" {
+		lines, err := a.LoadJournal(opt.Journal)
+		if err != nil {
+			return nil, err
+		}
+		if jw, err = OpenJournal(opt.Journal, sw, a.Digest, len(a.Pts), lines); err != nil {
+			return nil, err
+		}
+		defer jw.Close()
+		resumed = len(lines)
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = sim.NewCache(0)
+	}
+	sr := &seqRun{pts: a.Pts, par: a.par, conv: sw.Convergence, workers: poolSize(sw),
+		cache: cache, hooks: opt.Hooks, o: opt.Obs, jw: jw}
+
+	opt.Hooks.Emit(engine.Event{Kind: "sweep-start", Component: sw.Name, Iter: len(a.Pts)})
+
+	opt.Hooks.Emit(engine.Event{Kind: "rung-start", Component: sw.Name,
+		Stage: FidelityProbe, Iter: len(a.Pts) - a.ProbeDone})
+	sr.fid = FidelityProbe
+	if err := sr.run(ctx, identitySeq(len(a.Pts)), a.ProbeDone, a.Probes); err != nil {
+		return nil, err
+	}
+	a.ProbeDone = len(a.Pts)
+	opt.Hooks.Emit(engine.Event{Kind: "rung-done", Component: sw.Name,
+		Stage: FidelityProbe, Iter: len(a.Pts)})
+
+	a.Promote()
+	a.RecordMetrics(opt.Obs)
+
+	opt.Hooks.Emit(engine.Event{Kind: "rung-start", Component: sw.Name,
+		Stage: FidelityFull, Iter: len(a.Promoted) - a.FullDone})
+	sr.fid = FidelityFull
+	if err := sr.run(ctx, a.Promoted, a.FullDone, a.Fulls); err != nil {
+		return nil, err
+	}
+	a.FullDone = len(a.Promoted)
+	opt.Hooks.Emit(engine.Event{Kind: "rung-done", Component: sw.Name,
+		Stage: FidelityFull, Iter: len(a.Promoted)})
+
+	out := a.Outcome(resumed, cache)
+	opt.Hooks.Emit(engine.Event{Kind: "sweep-done", Component: sw.Name, Cost: bestCostOf(out)})
+	return out, nil
+}

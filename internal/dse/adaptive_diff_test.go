@@ -1,0 +1,205 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The differential harness pins the adaptive driver against the exhaustive
+// one on a committed 8-point fixture grid (testdata/adaptive-grid.json:
+// 4 buffer sizes x 2 seeds): the adaptive front must stay within a pinned
+// epsilon of the exhaustive front while issuing at most 40% of the
+// full-fidelity solves, every adaptive row must be an exhaustive grid point,
+// and fixed-seed adaptive journals must be byte-identical for any worker
+// count and across kill-and-resume.
+
+// diffEpsilon is the pinned front-degradation bound for the fixture grid:
+// at every buffer size on the exhaustive cost-vs-buffer front, the adaptive
+// run's best cost at-or-below that buffer is within (1+diffEpsilon) of the
+// exhaustive one. The fixture currently achieves 0 (the promoted full
+// solves reproduce the exhaustive optima exactly); the margin absorbs a
+// probe-found schedule edging out a front point without weakening the
+// guarantee the docs state (docs/dse.md).
+const diffEpsilon = 0.05
+
+// adaptiveFixture loads the committed grid spec; strip=true removes the
+// adaptive block, giving the exhaustive run of the identical grid.
+func adaptiveFixture(t *testing.T, strip bool, workers int) Sweep {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "adaptive-grid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := ParseSweep(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strip {
+		sw.Adaptive = nil
+	}
+	sw.Workers = workers
+	return sw
+}
+
+// frontCostAt is the front staircase: the best successful cost among rows
+// with at most the given buffer capacity.
+func frontCostAt(rows []Row, gbufBytes int64) (float64, bool) {
+	best, ok := 0.0, false
+	for _, r := range rows {
+		if r.Err != "" || r.Result == nil || r.Result.Hardware.GBufBytes > gbufBytes {
+			continue
+		}
+		if !ok || r.Result.Cost < best {
+			best, ok = r.Result.Cost, true
+		}
+	}
+	return best, ok
+}
+
+func TestAdaptiveDifferential(t *testing.T) {
+	ctx := context.Background()
+	ex, err := Run(ctx, adaptiveFixture(t, true, 4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := Run(ctx, adaptiveFixture(t, false, 4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Adaptive != nil {
+		t.Fatalf("exhaustive outcome grew adaptive stats: %+v", ex.Adaptive)
+	}
+	if ad.Adaptive == nil {
+		t.Fatal("adaptive outcome missing stats")
+	}
+	n := ex.Points
+
+	// <= 40% full-fidelity solves, and the stats agree with the rows.
+	fulls := 0
+	for _, r := range ad.Rows {
+		if r.Fidelity == FidelityFull {
+			fulls++
+		}
+	}
+	if fulls != ad.Adaptive.Promotions || ad.Adaptive.SolvesSaved != n-fulls {
+		t.Fatalf("stats disagree with rows: %d full rows, stats %+v", fulls, ad.Adaptive)
+	}
+	if max := (2 * n) / 5; fulls == 0 || fulls > max {
+		t.Fatalf("adaptive issued %d full solves on a %d-point grid (cap %d)", fulls, n, max)
+	}
+
+	// Every adaptive row's point is exactly the exhaustive expansion's.
+	if len(ad.Rows) != n {
+		t.Fatalf("adaptive rows = %d, grid = %d", len(ad.Rows), n)
+	}
+	for i, r := range ad.Rows {
+		if r.Point != ex.Rows[i].Point {
+			t.Fatalf("row %d point diverged: adaptive %+v, exhaustive %+v", i, r.Point, ex.Rows[i].Point)
+		}
+		if r.Fidelity != FidelityProbe && r.Fidelity != FidelityFull {
+			t.Fatalf("row %d fidelity = %q", i, r.Fidelity)
+		}
+	}
+
+	// Front within the pinned epsilon at every exhaustive-front buffer size.
+	if len(ex.Pareto) == 0 {
+		t.Fatal("exhaustive run produced no front on a 4-buffer grid")
+	}
+	for _, i := range ex.Pareto {
+		buf := ex.Rows[i].Result.Hardware.GBufBytes
+		want := ex.Rows[i].Result.Cost
+		got, ok := frontCostAt(ad.Rows, buf)
+		if !ok {
+			t.Fatalf("adaptive run has no successful row at buffer <= %d", buf)
+		}
+		if rel := (got - want) / want; rel > diffEpsilon {
+			t.Errorf("front at buffer %d: adaptive %.6g vs exhaustive %.6g (rel %.4f > eps %.2f)",
+				buf, got, want, rel, diffEpsilon)
+		}
+	}
+}
+
+// journalBytes runs the sweep with a journal and returns the finished file.
+func journalBytes(t *testing.T, sw Sweep, path string) []byte {
+	t.Helper()
+	if _, err := Run(context.Background(), sw, Options{Journal: path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestAdaptiveJournalIdenticalAcrossWorkerCounts(t *testing.T) {
+	dir := t.TempDir()
+	ref := journalBytes(t, adaptiveFixture(t, false, 1), filepath.Join(dir, "serial.jsonl"))
+	for _, workers := range []int{3, 8} {
+		got := journalBytes(t, adaptiveFixture(t, false, workers), filepath.Join(dir, "par.jsonl"))
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("adaptive journal differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+func TestAdaptiveResumeByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	ref := journalBytes(t, adaptiveFixture(t, false, 2), filepath.Join(dir, "ref.jsonl"))
+	lines := strings.Split(strings.TrimSuffix(string(ref), "\n"), "\n")
+	n := adaptiveFixture(t, true, 1).GridSize()
+	if len(lines) <= n+1 {
+		t.Fatalf("reference journal has no full rows to truncate (%d lines, grid %d)", len(lines), n)
+	}
+	// Kill mid-rung-0 (3 probes committed) and mid-rung-1 (all probes, one
+	// full row committed): both resumes must land on the reference bytes.
+	for name, keep := range map[string]int{"mid-probe": 1 + 3, "mid-full": 1 + n + 1} {
+		path := filepath.Join(dir, name+".jsonl")
+		torn := strings.Join(lines[:keep], "\n") + "\n" + `{"point":{"index"` // torn tail
+		if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := Run(context.Background(), adaptiveFixture(t, false, 2), Options{Journal: path})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Resumed != keep-1 {
+			t.Fatalf("%s: resumed %d rows, want %d", name, out.Resumed, keep-1)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("%s: resumed journal differs from uninterrupted run", name)
+		}
+	}
+}
+
+// A finished adaptive journal resumes to a no-op with identical bytes.
+func TestAdaptiveResumeFinishedJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "done.jsonl")
+	ref := journalBytes(t, adaptiveFixture(t, false, 2), path)
+	out, err := Run(context.Background(), adaptiveFixture(t, false, 2), Options{Journal: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Adaptive == nil || out.Adaptive.Promotions == 0 {
+		t.Fatalf("resumed outcome lost adaptive stats: %+v", out.Adaptive)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, got) {
+		t.Fatal("no-op resume rewrote the journal differently")
+	}
+	if out.Resumed != len(bytes.Split(bytes.TrimSuffix(ref, []byte("\n")), []byte("\n")))-1 {
+		t.Fatalf("no-op resume recomputed rows: %+v", out)
+	}
+}

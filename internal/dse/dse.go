@@ -78,6 +78,61 @@ type Sweep struct {
 	// digest - a journal written without diagnostics cannot resume into a
 	// run that expects them.
 	Convergence bool `json:"convergence,omitempty"`
+
+	// Adaptive switches the sweep to the Pareto-guided successive-halving
+	// driver (RunAdaptive, docs/dse.md): cheap probes across the whole grid,
+	// then full-fidelity solves only for the budgeted points nearest the
+	// probe-level cost-vs-buffer front plus a seeded exploration quota.
+	// An empty block {} selects all defaults. Like Convergence, the block
+	// is part of the spec digest - adaptive and exhaustive journals never
+	// mix.
+	Adaptive *Adaptive `json:"adaptive,omitempty"`
+}
+
+// Adaptive is the successive-halving block of a sweep spec. Zero values
+// select grid-size-dependent defaults (withDefaults).
+type Adaptive struct {
+	// Budget caps the number of full-fidelity solves (rung 1). Default:
+	// 30% of the grid, so an adaptive run spends well under half of the
+	// exhaustive runs' full solves.
+	Budget int `json:"budget,omitempty"`
+	// Epsilon is the promotion band: a probed point is front-ranked when
+	// its probe cost is within (1+Epsilon) of the probe-level front's cost
+	// at its buffer size. Default 0.25.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Explore reserves part of the budget for a seeded-deterministic
+	// random draw from outside the front band, so a misleading probe
+	// cannot permanently hide a region. Default: Budget/8, at least 1
+	// when the budget allows it.
+	Explore int `json:"explore,omitempty"`
+}
+
+// withDefaults resolves the zero fields against a concrete grid size. The
+// resolved block is what promotion, stats and journal resume all use, so
+// the defaults are part of the deterministic contract.
+func (a Adaptive) withDefaults(n int) Adaptive {
+	if a.Budget <= 0 {
+		a.Budget = (3*n + 9) / 10 // ceil(0.3 * n)
+	}
+	if a.Budget > n {
+		a.Budget = n
+	}
+	if a.Epsilon <= 0 {
+		a.Epsilon = 0.25
+	}
+	if a.Explore <= 0 {
+		a.Explore = a.Budget / 8
+		if a.Explore == 0 && a.Budget > 1 {
+			a.Explore = 1
+		}
+	}
+	if a.Explore >= a.Budget {
+		a.Explore = a.Budget - 1
+	}
+	if a.Explore < 0 {
+		a.Explore = 0
+	}
+	return a
 }
 
 // Search is the JSON-friendly search-parameter block of a sweep spec: a
@@ -106,6 +161,9 @@ func ParseSweep(data []byte) (Sweep, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sw); err != nil {
 		return Sweep{}, fmt.Errorf("dse: bad sweep spec: %w", err)
+	}
+	if dec.More() {
+		return Sweep{}, fmt.Errorf("dse: bad sweep spec: trailing data after JSON object")
 	}
 	return sw, nil
 }
@@ -228,6 +286,17 @@ func (s Sweep) Validate() error {
 	for _, g := range s.GBufMB {
 		if g < 0 {
 			return fmt.Errorf("dse: gbuf_mb must be >= 0, got %d", g)
+		}
+	}
+	if a := s.Adaptive; a != nil {
+		if a.Budget < 0 {
+			return fmt.Errorf("dse: adaptive budget must be >= 0, got %d", a.Budget)
+		}
+		if a.Epsilon < 0 {
+			return fmt.Errorf("dse: adaptive epsilon must be >= 0, got %g", a.Epsilon)
+		}
+		if a.Explore < 0 {
+			return fmt.Errorf("dse: adaptive explore must be >= 0, got %d", a.Explore)
 		}
 	}
 	return nil
@@ -422,6 +491,11 @@ type Row struct {
 	// only from sampled costs and move counts, so journaled rows stay
 	// byte-identical across worker counts and resumes.
 	Convergence *obs.Diagnostics `json:"convergence,omitempty"`
+	// Fidelity marks adaptive rows: FidelityProbe for the scaled-down
+	// rung-0 solve, FidelityFull for a promoted full solve. Exhaustive
+	// rows leave it empty, so pre-adaptive journals are byte-identical
+	// under the extended schema.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // Scrubbed returns a copy of the row safe to persist and compare across

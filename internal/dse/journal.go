@@ -45,6 +45,17 @@ type JournalWriter struct {
 // silently mix two sweeps. A torn tail (partial last line from a killed
 // process) is discarded; everything before it is kept.
 func LoadJournal(path string, digest string, points int) (rows []Row, lines [][]byte, err error) {
+	// An exhaustive journal's row k is exactly grid point k.
+	return loadJournal(path, digest, points, func(k int, row Row) bool {
+		return row.Point.Index == k && row.Point.Index < points
+	})
+}
+
+// loadJournal is the shared loader behind the exhaustive and adaptive resume
+// paths: header binding, torn-tail tolerance, and a caller-supplied
+// row-sequence validator - row k of the file must satisfy valid(k, row), and
+// the first row that does not ends the trusted prefix.
+func loadJournal(path, digest string, points int, valid func(k int, row Row) bool) (rows []Row, lines [][]byte, err error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil, nil
@@ -75,7 +86,7 @@ func LoadJournal(path string, digest string, points int) (rows []Row, lines [][]
 		if err := json.Unmarshal(line, &row); err != nil {
 			break // torn tail: keep the valid prefix
 		}
-		if row.Point.Index != len(rows) || row.Point.Index >= points {
+		if !valid(len(rows), row) {
 			break // out-of-order or out-of-range: distrust the tail
 		}
 		rows = append(rows, row)

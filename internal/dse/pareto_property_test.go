@@ -1,0 +1,169 @@
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"soma/internal/report"
+)
+
+// randomRows builds a row set with clustered buffer sizes, duplicated
+// (buffer, cost) pairs, and a sprinkling of error rows - the degenerate
+// shapes the front aggregates must stay deterministic over.
+func randomRows(rng *rand.Rand, n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		if rng.Intn(8) == 0 {
+			rows[i] = Row{Point: Point{Index: i}, Err: "solver exploded"}
+			continue
+		}
+		buf := int64(1+rng.Intn(4)) << 20
+		cost := float64(1+rng.Intn(6)) * 1e12
+		rows[i] = Row{
+			Point: Point{Index: i, Model: fmt.Sprintf("m%d", rng.Intn(3))},
+			Result: &report.Result{
+				Hardware: report.Hardware{GBufBytes: buf},
+				Cost:     cost,
+			},
+		}
+	}
+	return rows
+}
+
+// frontValues projects front indices onto their (buffer, cost) pairs - the
+// permutation-invariant identity of the front (index-based tie-breaks may
+// pick a different duplicate row, but never a different value pair).
+func frontValues(rows []Row, front []int) [][2]float64 {
+	vals := make([][2]float64, len(front))
+	for i, j := range front {
+		vals[i] = [2]float64{float64(rows[j].Result.Hardware.GBufBytes), rows[j].Result.Cost}
+	}
+	return vals
+}
+
+// TestFrontPropertyRandomized: over random row sets and random permutations,
+// the cost-vs-buffer front must (a) be a strict staircase, (b) dominate every
+// successful row, and (c) select the same value pairs for any row order.
+func TestFrontPropertyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		rows := randomRows(rng, 2+rng.Intn(24))
+		front := Front(rows,
+			func(r Row) float64 { return float64(r.Result.Hardware.GBufBytes) },
+			func(r Row) float64 { return r.Result.Cost })
+
+		// (a) Strict staircase: buffer strictly ascending, cost strictly
+		// descending, error rows excluded.
+		for i, j := range front {
+			r := rows[j]
+			if r.Err != "" || r.Result == nil {
+				t.Fatalf("trial %d: error row %d on the front", trial, j)
+			}
+			if i > 0 {
+				prev := rows[front[i-1]].Result
+				if prev.Hardware.GBufBytes >= r.Result.Hardware.GBufBytes ||
+					prev.Cost <= r.Result.Cost {
+					t.Fatalf("trial %d: front is not a strict staircase at %d", trial, i)
+				}
+			}
+		}
+
+		// (b) Dominance: every successful row has a front row at most as
+		// large and at most as costly.
+		for j, r := range rows {
+			if r.Err != "" || r.Result == nil {
+				continue
+			}
+			dominated := false
+			for _, k := range front {
+				f := rows[k].Result
+				if f.Hardware.GBufBytes <= r.Result.Hardware.GBufBytes &&
+					f.Cost <= r.Result.Cost {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Fatalf("trial %d: row %d not covered by the front", trial, j)
+			}
+		}
+
+		// (c) Order invariance of the selected value pairs, and of the
+		// per-axis best costs.
+		want := frontValues(rows, front)
+		wantBest := bestCosts(rows)
+		for p := 0; p < 5; p++ {
+			perm := append([]Row(nil), rows...)
+			rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+			got := frontValues(perm, Front(perm,
+				func(r Row) float64 { return float64(r.Result.Hardware.GBufBytes) },
+				func(r Row) float64 { return r.Result.Cost }))
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: front size changed under permutation: %d vs %d",
+					trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: front values changed under permutation at %d: %v vs %v",
+						trial, i, got[i], want[i])
+				}
+			}
+			if gotBest := bestCosts(perm); !equalMaps(gotBest, wantBest) {
+				t.Fatalf("trial %d: BestPerAxis changed under permutation: %v vs %v",
+					trial, gotBest, wantBest)
+			}
+		}
+	}
+}
+
+// bestCosts is BestPerAxis projected onto costs (cost ties may pick a
+// different row index under permutation, never a different cost).
+func bestCosts(rows []Row) map[string]float64 {
+	best := BestPerAxis(rows, func(p Point) string { return p.Model })
+	out := make(map[string]float64, len(best))
+	for k, i := range best {
+		out[k] = rows[i].Result.Cost
+	}
+	return out
+}
+
+func equalMaps(a, b map[string]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBestPerAxisDominanceCorrect: the kept row of each group really is the
+// group's minimum cost.
+func TestBestPerAxisDominanceCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		rows := randomRows(rng, 1+rng.Intn(20))
+		best := BestPerAxis(rows, func(p Point) string { return p.Model })
+		for _, r := range rows {
+			if r.Err != "" || r.Result == nil {
+				continue
+			}
+			j, ok := best[r.Point.Model]
+			if !ok {
+				t.Fatalf("trial %d: successful row's group %q missing", trial, r.Point.Model)
+			}
+			if rows[j].Result.Cost > r.Result.Cost {
+				t.Fatalf("trial %d: group %q kept cost %g, found %g",
+					trial, r.Point.Model, rows[j].Result.Cost, r.Result.Cost)
+			}
+		}
+		for k, j := range best {
+			if rows[j].Err != "" || rows[j].Result == nil || rows[j].Point.Model != k {
+				t.Fatalf("trial %d: group %q maps to a bad row", trial, k)
+			}
+		}
+	}
+}

@@ -43,6 +43,12 @@ type Options struct {
 	// pass-through: rows and journals are byte-identical with or without
 	// it (Row.Scrubbed drops the wall-clock Telemetry section).
 	Obs *obs.Obs
+	// Fidelity selects the solve fidelity for RunPoints leases dispatched
+	// by an adaptive rung: FidelityProbe runs the scaled-down ProbeParams
+	// solve, FidelityFull (or "") the spec's full parameters. Rows are
+	// stamped with it. Run ignores this field - exhaustive sweeps have no
+	// fidelity axis and adaptive ones derive it per rung.
+	Fidelity string
 }
 
 // Outcome is a completed (or resumed-and-completed) sweep: every grid row
@@ -68,6 +74,11 @@ type Outcome struct {
 	// depend on cache warmth and worker interleaving (unlike Rows, which
 	// are deterministic).
 	Cache sim.CacheStats `json:"cache"`
+	// Adaptive summarizes the successive-halving run when the spec carried
+	// an adaptive block (nil for exhaustive sweeps). For adaptive outcomes
+	// Rows still holds one row per grid point: the full-fidelity row where
+	// the point was promoted, its probe row otherwise.
+	Adaptive *AdaptiveStats `json:"adaptive,omitempty"`
 }
 
 // Best returns the lowest-cost successful row (nil if every point failed).
@@ -106,6 +117,9 @@ func (o *Outcome) WriteJSON(w io.Writer) error {
 // interrupted-then-resumed executions of one spec all produce byte-identical
 // journals.
 func Run(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
+	if sw.Adaptive != nil {
+		return RunAdaptive(ctx, sw, opt)
+	}
 	pts, err := sw.Expand()
 	if err != nil {
 		return nil, err
@@ -146,70 +160,10 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
 
 	opt.Hooks.Emit(engine.Event{Kind: "sweep-start", Component: sw.Name, Iter: len(pts)})
 
-	workers := sw.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-
-	// In-order journal commit: workers finish points in any order, but rows
-	// hit the file strictly by index, so an interrupted journal is always a
-	// clean prefix.
-	var (
-		mu       sync.Mutex
-		done     = make([]bool, len(pts))
-		frontier = start
-		werr     error
-	)
-	commit := func(i int) {
-		mu.Lock()
-		defer mu.Unlock()
-		done[i] = true
-		for frontier < len(pts) && done[frontier] {
-			if jw != nil && werr == nil {
-				werr = jw.Append(out.Rows[frontier].Scrubbed())
-			}
-			frontier++
-		}
-	}
-
-	reg := opt.Obs.Registry()
-	queueWait := reg.Histogram("dse_queue_wait_seconds",
-		"Time sweep points wait for a worker slot.")
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := start; i < len(pts); i++ {
-		if ctx.Err() != nil {
-			break
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			enqueued := time.Now()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			queueWait.Observe(time.Since(enqueued).Seconds())
-			if ctx.Err() != nil {
-				return
-			}
-			out.Rows[i] = runPoint(ctx, pts[i], par, cache, opt.Hooks, opt.Obs, sw.Convergence)
-			// Commit completed rows even if cancellation raced in right
-			// after the solve finished - the journal keeps every point
-			// that was actually paid for. Aborted points (neither result
-			// nor error) stay uncommitted, stalling the in-order frontier
-			// so the journal remains a clean prefix.
-			if out.Rows[i].Result != nil || out.Rows[i].Err != "" {
-				commit(i)
-			}
-		}(i)
-	}
-	wg.Wait()
-
-	if err := ctx.Err(); err != nil {
+	sr := &seqRun{pts: pts, par: par, conv: sw.Convergence, workers: poolSize(sw),
+		cache: cache, hooks: opt.Hooks, o: opt.Obs, jw: jw}
+	if err := sr.run(ctx, identitySeq(len(pts)), start, out.Rows); err != nil {
 		return nil, err
-	}
-	if werr != nil {
-		return nil, werr
 	}
 
 	bestCost := -1.0 // the Hooks convention for "no valid cost"
@@ -227,6 +181,103 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Outcome, error) {
 	out.Cache = cache.Stats()
 	opt.Hooks.Emit(engine.Event{Kind: "sweep-done", Component: sw.Name, Cost: bestCost})
 	return out, nil
+}
+
+// poolSize resolves the spec's grid-worker bound.
+func poolSize(sw Sweep) int {
+	if sw.Workers > 0 {
+		return sw.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// identitySeq is the exhaustive dispatch sequence: position == point index.
+func identitySeq(n int) []int {
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	return seq
+}
+
+// seqRun executes one dispatch sequence of grid points - the whole grid for
+// an exhaustive sweep, one rung for an adaptive one - on a bounded worker
+// pool. seq[pos] is the point index solved at sequence position pos; the
+// journal commits strictly in sequence order, which is what makes adaptive
+// journals (probe rows, then promoted rows) as cleanly resumable as
+// exhaustive ones.
+type seqRun struct {
+	pts     []Point
+	par     soma.Params
+	fid     string
+	conv    bool
+	workers int
+	cache   sim.EvalCache
+	hooks   *engine.Hooks
+	o       *obs.Obs
+	jw      *JournalWriter
+}
+
+// run executes seq[start:], storing each finished row at rows[pos] (rows is
+// indexed by sequence position, len(rows) == len(seq)).
+func (s *seqRun) run(ctx context.Context, seq []int, start int, rows []Row) error {
+	// In-order journal commit: workers finish points in any order, but rows
+	// hit the file strictly by sequence position, so an interrupted journal
+	// is always a clean prefix.
+	var (
+		mu       sync.Mutex
+		done     = make([]bool, len(seq))
+		frontier = start
+		werr     error
+	)
+	commit := func(pos int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done[pos] = true
+		for frontier < len(seq) && done[frontier] {
+			if s.jw != nil && werr == nil {
+				werr = s.jw.Append(rows[frontier].Scrubbed())
+			}
+			frontier++
+		}
+	}
+
+	queueWait := s.o.Registry().Histogram("dse_queue_wait_seconds",
+		"Time sweep points wait for a worker slot.")
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.workers)
+	for pos := start; pos < len(seq); pos++ {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(pos int) {
+			defer wg.Done()
+			enqueued := time.Now()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			queueWait.Observe(time.Since(enqueued).Seconds())
+			if ctx.Err() != nil {
+				return
+			}
+			rows[pos] = runPoint(ctx, s.pts[seq[pos]], s.par, s.cache, s.hooks, s.o, s.conv, s.fid)
+			// Commit completed rows even if cancellation raced in right
+			// after the solve finished - the journal keeps every point
+			// that was actually paid for. Aborted points (neither result
+			// nor error) stay uncommitted, stalling the in-order frontier
+			// so the journal remains a clean prefix.
+			if rows[pos].Result != nil || rows[pos].Err != "" {
+				commit(pos)
+			}
+		}(pos)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return werr
 }
 
 // RunPoints executes a subset of the sweep's expanded grid - the given point
@@ -254,13 +305,9 @@ func RunPoints(ctx context.Context, sw Sweep, indices []int, opt Options) ([]Row
 	if cache == nil {
 		cache = sim.NewCache(0)
 	}
-	workers := sw.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
 	rows := make([]Row, len(indices))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
+	sem := make(chan struct{}, poolSize(sw))
 	for j, idx := range indices {
 		if ctx.Err() != nil {
 			break
@@ -273,7 +320,7 @@ func RunPoints(ctx context.Context, sw Sweep, indices []int, opt Options) ([]Row
 			if ctx.Err() != nil {
 				return
 			}
-			rows[j] = runPoint(ctx, pts[idx], par, cache, opt.Hooks, opt.Obs, sw.Convergence).Scrubbed()
+			rows[j] = runPoint(ctx, pts[idx], par, cache, opt.Hooks, opt.Obs, sw.Convergence, opt.Fidelity).Scrubbed()
 		}(j, idx)
 	}
 	wg.Wait()
@@ -285,13 +332,17 @@ func RunPoints(ctx context.Context, sw Sweep, indices []int, opt Options) ([]Row
 
 // runPoint solves one grid cell. Engine failures other than cancellation
 // become error rows - an infeasible (buffer, bandwidth) corner is data, not
-// a reason to abort the grid.
+// a reason to abort the grid. A FidelityProbe fid swaps in the scaled-down
+// ProbeParams solve and stamps the row; fidelity is otherwise pass-through.
 func runPoint(ctx context.Context, p Point, par soma.Params, cache sim.EvalCache,
-	h *engine.Hooks, o *obs.Obs, convergence bool) Row {
-	h.Emit(engine.Event{Kind: "point-start", Component: p.Label(), Iter: p.Index})
+	h *engine.Hooks, o *obs.Obs, convergence bool, fid string) Row {
+	if fid == FidelityProbe {
+		par = ProbeParams(par)
+	}
+	h.Emit(engine.Event{Kind: "point-start", Component: p.Label(), Stage: fid, Iter: p.Index})
 	reg := o.Registry()
 	start := time.Now()
-	row := Row{Point: p}
+	row := Row{Point: p, Fidelity: fid}
 	req, err := p.Request(par)
 	if err == nil {
 		req.Cache = cache
@@ -300,8 +351,13 @@ func runPoint(ctx context.Context, p Point, par soma.Params, cache sim.EvalCache
 			req.Journal = obs.NewJournal()
 		}
 		// Concurrent points must not share a trace track: each gets its own
-		// row in the viewer, named by grid position.
-		req.TraceTrack = fmt.Sprintf("point-%03d %s", p.Index, p.Label())
+		// row in the viewer, named by grid position (adaptive probe and full
+		// solves of one point are distinct tracks).
+		track := fmt.Sprintf("point-%03d", p.Index)
+		if fid != "" {
+			track += "-" + fid
+		}
+		req.TraceTrack = track + " " + p.Label()
 		row.Result, err = engine.Run(ctx, req, nil)
 	}
 	reg.Histogram("dse_point_seconds",
@@ -315,14 +371,14 @@ func runPoint(ctx context.Context, p Point, par soma.Params, cache sim.EvalCache
 			// reassigned is distinguishable from a real point failure.
 			reg.Counter("dse_points_total", "Sweep points by outcome.",
 				"outcome", "canceled").Inc()
-			h.Emit(engine.Event{Kind: "point-error", Component: p.Label(),
+			h.Emit(engine.Event{Kind: "point-error", Component: p.Label(), Stage: fid,
 				Iter: p.Index, Err: context.Cause(ctx).Error()})
 			return row
 		}
 		row.Err = err.Error()
 		reg.Counter("dse_points_total", "Sweep points by outcome.",
 			"outcome", "error").Inc()
-		h.Emit(engine.Event{Kind: "point-error", Component: p.Label(), Iter: p.Index, Err: row.Err})
+		h.Emit(engine.Event{Kind: "point-error", Component: p.Label(), Stage: fid, Iter: p.Index, Err: row.Err})
 		return row
 	}
 	if row.Result.Convergence != nil {
@@ -330,6 +386,6 @@ func runPoint(ctx context.Context, p Point, par soma.Params, cache sim.EvalCache
 	}
 	reg.Counter("dse_points_total", "Sweep points by outcome.",
 		"outcome", "ok").Inc()
-	h.Emit(engine.Event{Kind: "point-done", Component: p.Label(), Iter: p.Index, Cost: row.Result.Cost})
+	h.Emit(engine.Event{Kind: "point-done", Component: p.Label(), Stage: fid, Iter: p.Index, Cost: row.Result.Cost})
 	return row
 }

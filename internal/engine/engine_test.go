@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -15,6 +14,7 @@ import (
 	"soma/internal/obs"
 	"soma/internal/sim"
 	"soma/internal/soma"
+	"soma/internal/testutil"
 	"soma/internal/workload"
 )
 
@@ -126,10 +126,6 @@ func TestGoldenSingleModel(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.backend, func(t *testing.T) {
-			want, err := os.ReadFile(goldenPath(tc.golden))
-			if err != nil {
-				t.Fatal(err)
-			}
 			res, err := Run(context.Background(), Request{Backend: tc.backend,
 				Model: "mobilenetv2", Batch: 1, Platform: "edge",
 				Objective: soma.EDP(), Params: tc.par}, nil)
@@ -140,9 +136,7 @@ func TestGoldenSingleModel(t *testing.T) {
 			if err := res.WriteJSON(&got); err != nil {
 				t.Fatal(err)
 			}
-			if !bytes.Equal(got.Bytes(), want) {
-				t.Errorf("%s payload diverged from golden %s", tc.backend, tc.golden)
-			}
+			testutil.Golden(t, goldenPath(tc.golden), got.Bytes())
 		})
 	}
 }
@@ -150,10 +144,6 @@ func TestGoldenSingleModel(t *testing.T) {
 // TestGoldenScenario pins the engine's composed-scenario payload to the
 // pre-refactor golden.
 func TestGoldenScenario(t *testing.T) {
-	want, err := os.ReadFile(goldenPath("scenario-gpt2s-prefill-decode.golden.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
 	sc, err := workload.Builtin("gpt2s-prefill-decode")
 	if err != nil {
 		t.Fatal(err)
@@ -170,9 +160,7 @@ func TestGoldenScenario(t *testing.T) {
 	if err := res.WriteJSON(&got); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got.Bytes(), want) {
-		t.Error("scenario payload diverged from golden")
-	}
+	testutil.Golden(t, goldenPath("scenario-gpt2s-prefill-decode.golden.json"), got.Bytes())
 }
 
 // TestHooksDoNotPerturbResult: a run with a hooks stream installed must be

@@ -145,6 +145,66 @@ func TestSweepEventsSSE(t *testing.T) {
 	}
 }
 
+// TestSweepAdaptiveRoundTrip: a spec with an adaptive block runs through the
+// successive-halving driver server-side — the served outcome carries the rung
+// stats and fidelity-stamped rows, and the SSE stream replays the rung events.
+func TestSweepAdaptiveRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	spec := smallSweep()
+	spec["gbuf_mb"] = []int64{2, 3, 4, 6}
+	spec["seeds"] = []int64{1, 2}
+	spec["adaptive"] = map[string]any{}
+	var v View
+	if code := doJSON(t, "POST", ts.URL+"/v1/sweeps?wait=1", spec, &v); code != http.StatusOK {
+		t.Fatalf("submit = %d", code)
+	}
+	if v.State != StateDone {
+		t.Fatalf("state = %s (%s)", v.State, v.Error)
+	}
+	out := v.SweepResult
+	if out == nil || out.Adaptive == nil {
+		t.Fatalf("adaptive sweep result missing stats: %+v", out)
+	}
+	a := out.Adaptive
+	if a.Probes != 8 || a.Promotions == 0 || a.Promotions > a.Budget ||
+		a.SolvesSaved != a.Probes-a.Promotions {
+		t.Fatalf("adaptive stats = %+v", a)
+	}
+	fulls := 0
+	for i, row := range out.Rows {
+		switch row.Fidelity {
+		case dse.FidelityFull:
+			fulls++
+		case dse.FidelityProbe:
+		default:
+			t.Fatalf("row %d fidelity = %q", i, row.Fidelity)
+		}
+	}
+	if fulls != a.Promotions {
+		t.Fatalf("%d full rows, want %d promotions", fulls, a.Promotions)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			kinds[strings.TrimPrefix(line, "event: ")]++
+		}
+		if line == "event: end" {
+			break
+		}
+	}
+	if kinds["rung-start"] != 2 || kinds["rung-done"] != 2 {
+		t.Fatalf("sse kinds = %v, want two rungs", kinds)
+	}
+}
+
 func TestSweepCancel(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	// A deliberately slow grid: paper-profile points on a deep model.

@@ -1,0 +1,69 @@
+// Package testutil holds helpers shared by the repo's test packages.
+//
+// The one that matters is Golden: every fixed-seed golden comparison
+// (cmd/soma payloads, engine results, dse journals) funnels through it so the
+// compare-and-regenerate contract lives in one place. Run any golden test
+// with UPDATE_GOLDENS=1 to rewrite the committed file from the current run:
+//
+//	UPDATE_GOLDENS=1 go test ./cmd/soma ./internal/engine
+//
+// then inspect the diff before committing - a golden update is a claim that
+// the new bytes are the intended behavior.
+package testutil
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// Golden compares got against the committed golden file at path, byte for
+// byte. With UPDATE_GOLDENS=1 in the environment it instead rewrites the file
+// and skips the comparison (the test passes and the diff shows up in git).
+func Golden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if os.Getenv("UPDATE_GOLDENS") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update golden %s: %v", path, err)
+		}
+		t.Logf("updated golden %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s: %v (run with UPDATE_GOLDENS=1 to create it)", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s diverged from golden (%d bytes, want %d); %s", path, len(got), len(want),
+			firstDiff(got, want))
+	}
+}
+
+// firstDiff renders the first byte offset where two payloads disagree, with a
+// short context window - enough to locate a divergence in a multi-KB JSON
+// payload without dumping both sides.
+func firstDiff(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			lo := i - 20
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("first difference at byte %d: got %q, want %q",
+				i, clip(got, lo, i+20), clip(want, lo, i+20))
+		}
+	}
+	return fmt.Sprintf("payloads agree for %d bytes, lengths differ", n)
+}
+
+func clip(b []byte, lo, hi int) string {
+	if hi > len(b) {
+		hi = len(b)
+	}
+	return string(b[lo:hi])
+}

@@ -1,0 +1,40 @@
+package testutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGoldenMatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.golden")
+	if err := os.WriteFile(path, []byte("payload\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	Golden(t, path, []byte("payload\n"))
+}
+
+func TestGoldenUpdate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.golden")
+	t.Setenv("UPDATE_GOLDENS", "1")
+	Golden(t, path, []byte("fresh\n"))
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fresh\n" {
+		t.Fatalf("golden not written: %q", got)
+	}
+}
+
+func TestFirstDiff(t *testing.T) {
+	msg := firstDiff([]byte("aaaa-X-bbbb"), []byte("aaaa-Y-bbbb"))
+	if !strings.Contains(msg, "byte 5") {
+		t.Fatalf("firstDiff = %q", msg)
+	}
+	msg = firstDiff([]byte("same"), []byte("same-longer"))
+	if !strings.Contains(msg, "lengths differ") {
+		t.Fatalf("firstDiff = %q", msg)
+	}
+}

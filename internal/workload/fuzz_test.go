@@ -1,0 +1,40 @@
+package workload
+
+import "testing"
+
+// FuzzParseSpec drives the strict scenario-spec parser with arbitrary bytes.
+// It must never panic, and every accepted scenario must hit the canonical
+// fixed point: MarshalSpec re-parses and a second MarshalSpec reproduces the
+// first byte for byte (SpecSHA256's stability rests on this).
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(`{"name": "mix", "components": [{"model": "resnet50"}]}`))
+	f.Add([]byte(`{"name": "mt", "arrival": "interleaved", "components": [
+		{"model": "resnet50"}, {"model": "mobilenetv2", "batch": 4, "weight": 2}]}`))
+	f.Add([]byte(`{"name": "pd", "arrival": "prefill-decode", "components": [
+		{"model": "gpt2s-prefill"}, {"model": "gpt2s-decode"}]}`))
+	f.Add([]byte(`{"name": "seq", "arrival": "sequential", "components": [{"model": "vgg16"}]}`))
+	f.Add([]byte(`{"components": []}`))
+	f.Add([]byte(`{"name": "x", "components": [{"model": "nope"}]}`))
+	f.Add([]byte(`{"name": "x", "componets": []}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		b1, err := s.MarshalSpec()
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		s2, err := ParseSpec(b1)
+		if err != nil {
+			t.Fatalf("canonical spec does not re-parse: %v\n%s", err, b1)
+		}
+		b2, err := s2.MarshalSpec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("round trip is not a fixed point:\n%s\n%s", b1, b2)
+		}
+	})
+}
